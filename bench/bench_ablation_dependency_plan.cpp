@@ -1,0 +1,52 @@
+// Ablation: the dependency schedule D (Section 5.4).
+//
+// "Decreasing the transfer of partial sums in the horizontal direction is
+// essential" — we compare the minimal-shift schedule build_plan() derives
+// against a naive dense schedule that shifts through the full column range
+// in every z-pass, on the 3D star stencils where the difference is largest.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/stencil3d.hpp"
+#include "core/stencil_suite.hpp"
+#include "perfmodel/latency_model.hpp"
+
+int main() {
+  using namespace ssam;
+  bench::print_simulation_note();
+  print_banner("Ablation: dependency graph D — minimal vs dense shift schedule");
+  bench::ShapeChecks checks;
+
+  Grid3D<float> in(256, 256, 256), out(256, 256, 256);
+  const auto& arch = sim::tesla_v100();
+  const perf::MicroLatencies lat = perf::from_arch(arch);
+
+  ConsoleTable t({"stencil", "shifts (min D)", "shifts (dense D)", "model cost ratio",
+                  "ms (min D)", "ms (dense D)", "speedup"});
+  for (const char* name : {"3d7pt", "3d13pt", "poisson", "3d27pt"}) {
+    const auto shape = core::suite_stencil<float>(name);
+    const auto plan_min = core::build_plan(shape.taps, /*dense=*/false);
+    const auto plan_dense = core::build_plan(shape.taps, /*dense=*/true);
+
+    auto s_min = core::stencil3d_ssam<float>(arch, in.cview(), plan_min, out.view(), {},
+                                             sim::ExecMode::kTiming, {32, 4});
+    auto s_dense = core::stencil3d_ssam<float>(arch, in.cview(), plan_dense, out.view(),
+                                               {}, sim::ExecMode::kTiming, {32, 4});
+    const double ms_min = sim::estimate_runtime(arch, s_min).total_ms;
+    const double ms_dense = sim::estimate_runtime(arch, s_dense).total_ms;
+    const double model_ratio =
+        perf::plan_shift_cost(plan_dense.horizontal_shifts(), lat) /
+        std::max(1.0, perf::plan_shift_cost(plan_min.horizontal_shifts(), lat));
+    t.add_row({name, std::to_string(plan_min.horizontal_shifts()),
+               std::to_string(plan_dense.horizontal_shifts()),
+               ConsoleTable::num(model_ratio, 2), ConsoleTable::num(ms_min, 2),
+               ConsoleTable::num(ms_dense, 2), ConsoleTable::num(ms_dense / ms_min, 2)});
+    checks.check(std::string(name) + ": minimal D never slower than dense D",
+                 ms_min <= ms_dense * 1.02);
+    checks.check(std::string(name) + ": minimal D has <= dense D shifts",
+                 plan_min.horizontal_shifts() <= plan_dense.horizontal_shifts());
+  }
+  std::cout << t.str();
+  checks.print();
+  return checks.failures() == 0 ? 0 : 1;
+}

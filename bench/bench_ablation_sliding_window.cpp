@@ -1,0 +1,53 @@
+// Ablation: the sliding-window length P (Section 4.2, footnote 2).
+//
+// P trades register pressure against data reuse and ILP: C = P + N - 1
+// registers per thread buy P outputs, so the halo ratio HRrc falls with P
+// while occupancy eventually drops. The paper fixes P=4 for Fig. 4; this
+// ablation shows why that neighborhood is the sweet spot.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/conv2d.hpp"
+#include "perfmodel/latency_model.hpp"
+
+int main() {
+  using namespace ssam;
+  bench::print_simulation_note();
+  print_banner("Ablation: sliding-window length P (SSAM conv2d, 9x9, FP32)");
+  bench::ShapeChecks checks;
+
+  Grid2D<float> in(4096, 4096), out(4096, 4096);
+  std::vector<float> w(81, 0.01f);
+
+  for (const sim::ArchSpec* arch : {&sim::tesla_p100(), &sim::tesla_v100()}) {
+    ConsoleTable t({"P", "C=P+N-1", "HRrc", "regs/thread", "occupancy", "runtime ms"});
+    double best_ms = 1e30;
+    int best_p = 0;
+    double p1_ms = 0;
+    for (int p : {1, 2, 4, 8, 16, 32}) {
+      core::ConvOptions opt;
+      opt.p = p;
+      auto stats = core::conv2d_ssam<float>(*arch, in.cview(), w, 9, 9, out.view(), opt,
+                                            sim::ExecMode::kTiming, {32, 4});
+      const auto est = sim::estimate_runtime(*arch, stats);
+      t.add_row({std::to_string(p), std::to_string(p + 8),
+                 ConsoleTable::num(perf::halo_ratio_rc(9, 9, p), 3),
+                 std::to_string(stats.cfg.regs_per_thread),
+                 ConsoleTable::num(est.occupancy.fraction, 2),
+                 ConsoleTable::num(est.total_ms, 2)});
+      if (est.total_ms < best_ms) {
+        best_ms = est.total_ms;
+        best_p = p;
+      }
+      if (p == 1) p1_ms = est.total_ms;
+    }
+    std::cout << "\n" << arch->name << ":\n" << t.str();
+    std::cout << "best P = " << best_p << " (paper uses P=4)\n";
+    checks.check(arch->name + ": some P > 1 beats P = 1 (sliding window pays)",
+                 best_ms < p1_ms);
+    checks.check(arch->name + ": best P in the paper's neighborhood [2, 16]",
+                 best_p >= 2 && best_p <= 16);
+  }
+  checks.print();
+  return checks.failures() == 0 ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Shared utilities for the benchmark harness.
+//
+// Every bench binary regenerates one table or figure of the paper: it runs
+// the simulated kernels in timing mode on the paper's domain sizes, prints
+// the same rows/series the paper reports, and where the paper states
+// explicit numbers or shape criteria, prints paper-vs-measured columns.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "common/table.hpp"
+#include "core/kernel_common.hpp"
+#include "gpusim/arch.hpp"
+#include "gpusim/timing.hpp"
+
+namespace ssam::bench {
+
+/// Timing-mode sample: 96 blocks in 4 contiguous runs (see launch.hpp).
+[[nodiscard]] inline sim::SampleSpec default_sample() { return sim::SampleSpec{96, 4}; }
+
+/// Turns a KernelStats into a runtime estimate and GCells/s for a domain.
+struct Measurement {
+  double ms = 0.0;
+  double gcells = 0.0;
+  std::string bound;
+};
+
+[[nodiscard]] inline Measurement measure(const sim::ArchSpec& arch,
+                                         const sim::KernelStats& stats, double cells,
+                                         int fused_steps = 1) {
+  const sim::RuntimeEstimate est = sim::estimate_runtime(arch, stats);
+  Measurement m;
+  m.ms = est.total_ms;
+  m.gcells = cells * fused_steps / (est.total_ms * 1e-3) / 1e9;
+  m.bound = est.bound;
+  return m;
+}
+
+/// Shape-criterion bookkeeping: the bench prints PASS/FAIL lines mirroring
+/// the qualitative claims of the paper (who wins, by roughly what factor).
+class ShapeChecks {
+ public:
+  void check(const std::string& name, bool ok) {
+    results_.push_back({name, ok});
+    if (!ok) ++failures_;
+  }
+
+  void print() const {
+    std::cout << "\nShape criteria (paper claims):\n";
+    for (const auto& [name, ok] : results_) {
+      std::cout << "  [" << (ok ? "PASS" : "FAIL") << "] " << name << '\n';
+    }
+  }
+
+  [[nodiscard]] int failures() const { return failures_; }
+
+ private:
+  std::vector<std::pair<std::string, bool>> results_;
+  int failures_ = 0;
+};
+
+inline void print_simulation_note() {
+  std::cout << "(simulated GPUs: timings are estimates from the cycle-level SIMT\n"
+               " simulator described in DESIGN.md, parameterized by the paper's\n"
+               " Table 2 latencies; shapes, not absolute ms, are the target)\n";
+}
+
+}  // namespace ssam::bench

@@ -1,0 +1,160 @@
+// Figure 5: stencil performance (GCells/s) on the Table 3 suite.
+//
+// Four panels: (a) P100 FP32, (b) V100 FP32, (c) P100 FP64, (d) V100 FP64.
+// Implementations: original / reordered / unrolled (Rawat et al. [47,48]),
+// ppcg-style smem tiling [53], Halide-like, and SSAM. Domains 8192^2 / 512^3.
+#include <iostream>
+#include <map>
+
+#include "baselines/stencil_direct.hpp"
+#include "baselines/stencil_tiled.hpp"
+#include "bench_common.hpp"
+#include "core/stencil2d.hpp"
+#include "core/stencil3d.hpp"
+#include "core/stencil_suite.hpp"
+
+namespace {
+
+using namespace ssam;
+
+const std::vector<std::string> kFig5Stencils = {
+    "2d5pt", "2d9pt",  "2d13pt", "2d17pt", "2d21pt", "2ds25pt", "2d25pt",
+    "2d64pt", "2d81pt", "2d121pt", "3d7pt",  "3d27pt", "3d125pt", "poisson"};
+
+const std::vector<std::string> kImpls = {"original", "reordered", "unrolled",
+                                         "ppcg",     "Halide",    "SSAM"};
+
+template <typename T>
+std::map<std::string, double> run_shape(const sim::ArchSpec& arch,
+                                        const core::StencilShape<T>& shape,
+                                        Grid2D<T>& in2, Grid2D<T>& out2, Grid3D<T>& in3,
+                                        Grid3D<T>& out3) {
+  const sim::SampleSpec sample{32, 4};
+  std::map<std::string, double> gcells;
+  auto add = [&](const std::string& name, const sim::KernelStats& st, double cells) {
+    gcells[name] = bench::measure(arch, st, cells).gcells;
+  };
+  if (shape.dims == 2) {
+    const double cells = static_cast<double>(in2.width()) * in2.height();
+    add("original", base::stencil2d_direct<T>(arch, in2.cview(), shape, out2.view(),
+                                              base::DirectStyle::kOriginal,
+                                              sim::ExecMode::kTiming, sample),
+        cells);
+    add("reordered", base::stencil2d_direct<T>(arch, in2.cview(), shape, out2.view(),
+                                               base::DirectStyle::kReordered,
+                                               sim::ExecMode::kTiming, sample),
+        cells);
+    add("unrolled", base::stencil2d_direct<T>(arch, in2.cview(), shape, out2.view(),
+                                              base::DirectStyle::kUnrolled,
+                                              sim::ExecMode::kTiming, sample),
+        cells);
+    add("ppcg", base::stencil2d_smem_tiled<T>(arch, in2.cview(), shape, out2.view(),
+                                              sim::ExecMode::kTiming, sample),
+        cells);
+    add("Halide", base::stencil2d_direct<T>(arch, in2.cview(), shape, out2.view(),
+                                            base::DirectStyle::kHalide,
+                                            sim::ExecMode::kTiming, sample),
+        cells);
+    add("SSAM", core::stencil2d_ssam<T>(arch, in2.cview(), shape, out2.view(), {},
+                                        sim::ExecMode::kTiming, sample),
+        cells);
+  } else {
+    const double cells = static_cast<double>(in3.nx()) * in3.ny() * in3.nz();
+    add("original", base::stencil3d_direct<T>(arch, in3.cview(), shape, out3.view(),
+                                              base::DirectStyle::kOriginal,
+                                              sim::ExecMode::kTiming, sample),
+        cells);
+    add("reordered", base::stencil3d_direct<T>(arch, in3.cview(), shape, out3.view(),
+                                               base::DirectStyle::kReordered,
+                                               sim::ExecMode::kTiming, sample),
+        cells);
+    add("unrolled", base::stencil3d_direct<T>(arch, in3.cview(), shape, out3.view(),
+                                              base::DirectStyle::kUnrolled,
+                                              sim::ExecMode::kTiming, sample),
+        cells);
+    add("ppcg", base::stencil3d_smem_tiled<T>(arch, in3.cview(), shape, out3.view(),
+                                              sim::ExecMode::kTiming, sample),
+        cells);
+    add("Halide", base::stencil3d_direct<T>(arch, in3.cview(), shape, out3.view(),
+                                            base::DirectStyle::kHalide,
+                                            sim::ExecMode::kTiming, sample),
+        cells);
+    add("SSAM", core::stencil3d_ssam<T>(arch, in3.cview(), shape, out3.view(), {},
+                                        sim::ExecMode::kTiming, sample),
+        cells);
+  }
+  return gcells;
+}
+
+template <typename T>
+void run_panel(const sim::ArchSpec& arch, const char* panel, bench::ShapeChecks& checks) {
+  print_banner(std::string("Figure 5") + panel + " (" + arch.name + ", " +
+               (sizeof(T) == 4 ? "single" : "double") + " precision): GCells/s");
+
+  Grid2D<T> in2(core::kSuiteDomain2D, core::kSuiteDomain2D);
+  Grid2D<T> out2(core::kSuiteDomain2D, core::kSuiteDomain2D);
+  Grid3D<T> in3(core::kSuiteDomain3D, core::kSuiteDomain3D, core::kSuiteDomain3D);
+  Grid3D<T> out3(core::kSuiteDomain3D, core::kSuiteDomain3D, core::kSuiteDomain3D);
+
+  ConsoleTable t({"benchmark", "original", "reordered", "unrolled", "ppcg", "Halide",
+                  "SSAM", "winner"});
+  int ssam_wins = 0;
+  double ssam_advantage_sum = 0.0;
+  for (const auto& name : kFig5Stencils) {
+    const auto shape = core::suite_stencil<T>(name);
+    auto g = run_shape<T>(arch, shape, in2, out2, in3, out3);
+    std::string winner = "SSAM";
+    double best_other = 0;
+    for (const auto& impl : kImpls) {
+      if (impl != "SSAM") best_other = std::max(best_other, g[impl]);
+    }
+    if (best_other > g["SSAM"]) {
+      for (const auto& impl : kImpls) {
+        if (g[impl] >= best_other) winner = impl;
+      }
+    } else {
+      ++ssam_wins;
+    }
+    ssam_advantage_sum += g["SSAM"] / best_other;
+    t.add_row({name, ConsoleTable::num(g["original"], 1),
+               ConsoleTable::num(g["reordered"], 1), ConsoleTable::num(g["unrolled"], 1),
+               ConsoleTable::num(g["ppcg"], 1), ConsoleTable::num(g["Halide"], 1),
+               ConsoleTable::num(g["SSAM"], 1), winner});
+  }
+  std::cout << t.str();
+  const double mean_adv = ssam_advantage_sum / kFig5Stencils.size();
+  std::cout << "SSAM wins " << ssam_wins << "/" << kFig5Stencils.size()
+            << "; mean advantage vs best competitor: " << ConsoleTable::num(mean_adv, 2)
+            << "x\n";
+  checks.check(std::string(arch.name) + " " + to_string(Precision(sizeof(T) == 8)) +
+                   ": SSAM wins the large majority (>= 11/14)",
+               ssam_wins >= 11);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ssam;
+  bench::print_simulation_note();
+  bench::ShapeChecks checks;
+  struct Panel {
+    const sim::ArchSpec* arch;
+    const char* tag;
+    bool fp32;
+  };
+  const Panel panels[] = {{&sim::tesla_p100(), "a", true},
+                          {&sim::tesla_v100(), "b", true},
+                          {&sim::tesla_p100(), "c", false},
+                          {&sim::tesla_v100(), "d", false}};
+  // Track the P100-vs-V100 variance observation (Section 6.3): the spread
+  // between implementations narrows on V100.
+  for (const auto& p : panels) {
+    if (p.fp32) {
+      run_panel<float>(*p.arch, p.tag, checks);
+    } else {
+      run_panel<double>(*p.arch, p.tag, checks);
+    }
+  }
+  checks.print();
+  return checks.failures() == 0 ? 0 : 1;
+}

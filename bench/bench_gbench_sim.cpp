@@ -1,0 +1,96 @@
+// Host-side micro-benchmarks of the simulator substrate (google-benchmark).
+//
+// These measure the *simulator's own* throughput (lane-ops/s on the host),
+// which bounds how large a timing sample the harness can afford — useful
+// when extending the repo, orthogonal to the simulated-GPU results.
+#include <benchmark/benchmark.h>
+
+#include "core/conv2d.hpp"
+#include "core/scan.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/launch.hpp"
+
+namespace {
+
+using namespace ssam;
+
+void BM_WarpMadChain(benchmark::State& state) {
+  const auto& arch = sim::tesla_v100();
+  const sim::LaunchConfig cfg{.grid = Dim3{1, 1, 1}, .block_threads = 32,
+                              .regs_per_thread = 32};
+  sim::MemorySystem mem(arch);
+  for (auto _ : state) {
+    sim::BlockContext blk(arch, cfg, BlockId{}, &mem, true);
+    sim::WarpContext& w = blk.warp(0);
+    sim::Reg<float> v = w.uniform(1.0f);
+    for (int i = 0; i < 1024; ++i) v = w.mad(v, 0.999f, v);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * sim::kWarpSize);
+}
+BENCHMARK(BM_WarpMadChain);
+
+void BM_WarpShuffle(benchmark::State& state) {
+  const auto& arch = sim::tesla_v100();
+  const sim::LaunchConfig cfg{.grid = Dim3{1, 1, 1}, .block_threads = 32,
+                              .regs_per_thread = 32};
+  sim::MemorySystem mem(arch);
+  for (auto _ : state) {
+    sim::BlockContext blk(arch, cfg, BlockId{}, &mem, true);
+    sim::WarpContext& w = blk.warp(0);
+    sim::Reg<float> v = w.iota(0.0f, 1.0f);
+    for (int i = 0; i < 1024; ++i) v = w.shfl_up(sim::kFullMask, v, 1);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * sim::kWarpSize);
+}
+BENCHMARK(BM_WarpShuffle);
+
+void BM_CacheAccess(benchmark::State& state) {
+  sim::SetAssocCache l2(6 * 1024 * 1024, 128, 16);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(l2.access(addr));
+    addr += 4096;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_SsamConvFunctional(benchmark::State& state) {
+  const Index n = state.range(0);
+  Grid2D<float> in(n, n, 1.0f), out(n, n);
+  std::vector<float> w(25, 0.04f);
+  for (auto _ : state) {
+    core::conv2d_ssam<float>(sim::tesla_v100(), in.cview(), w, 5, 5, out.view());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_SsamConvFunctional)->Arg(256)->Arg(512);
+
+void BM_SsamConvTiming(benchmark::State& state) {
+  const Index n = 2048;
+  Grid2D<float> in(n, n, 1.0f), out(n, n);
+  std::vector<float> w(81, 0.01f);
+  for (auto _ : state) {
+    auto stats = core::conv2d_ssam<float>(sim::tesla_v100(), in.cview(), w, 9, 9,
+                                          out.view(), {}, sim::ExecMode::kTiming, {32, 4});
+    benchmark::DoNotOptimize(stats.cycles_per_block);
+  }
+}
+BENCHMARK(BM_SsamConvTiming);
+
+void BM_DeviceScanFunctional(benchmark::State& state) {
+  std::vector<float> in(1 << 16, 1.0f), out(1 << 16);
+  for (auto _ : state) {
+    core::scan_inclusive<float>(sim::tesla_v100(), in, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long long>(in.size()));
+}
+BENCHMARK(BM_DeviceScanFunctional);
+
+}  // namespace
+
+BENCHMARK_MAIN();

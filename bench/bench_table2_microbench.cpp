@@ -1,0 +1,44 @@
+// Table 2: The latency of different operations (cycles/warp).
+//
+// Re-runs the paper's dependent-chain micro-benchmarks (cudabmk methodology,
+// Section 5.1) on the simulated GPUs and compares with the paper's measured
+// values. The simulator's latency parameters come from this very table, so
+// the measured chains must reproduce it — this is the self-consistency loop
+// the paper closes against real hardware.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gpusim/microbench.hpp"
+#include "paperdata/paper_values.hpp"
+
+int main() {
+  using namespace ssam;
+  print_banner("Table 2: Operation latencies (cycles/warp), micro-benchmarked");
+  bench::print_simulation_note();
+
+  ConsoleTable t({"GPU", "Operation", "Paper (measured)", "Simulator (measured)"});
+  bench::ShapeChecks checks;
+  for (const auto& row : paper::table2()) {
+    const sim::ArchSpec& arch = sim::arch_by_name(row.gpu);
+    const sim::MicrobenchResult r = sim::run_microbench(arch);
+    t.add_row({row.gpu, "shfl_up_sync", ConsoleTable::num(row.shfl_up_sync, 0),
+               ConsoleTable::num(r.shfl_up_cycles, 1)});
+    t.add_row({row.gpu, "add, sub, mad", ConsoleTable::num(row.add_sub_mad, 0),
+               ConsoleTable::num(r.mad_cycles, 1)});
+    t.add_row({row.gpu, "smem read", ConsoleTable::num(row.smem_read, 0),
+               ConsoleTable::num(r.smem_read_cycles, 1)});
+    t.add_row({row.gpu, "gmem read (chase)", "200~400 [42]",
+               ConsoleTable::num(r.gmem_read_cycles, 1)});
+    checks.check(row.gpu + std::string(": shfl latency within 10%"),
+                 std::abs(r.shfl_up_cycles - row.shfl_up_sync) <= 0.1 * row.shfl_up_sync);
+    checks.check(row.gpu + std::string(": mad latency within 10%"),
+                 std::abs(r.mad_cycles - row.add_sub_mad) <= 0.1 * row.add_sub_mad);
+    checks.check(row.gpu + std::string(": smem latency within 10%"),
+                 std::abs(r.smem_read_cycles - row.smem_read) <= 0.1 * row.smem_read);
+    checks.check(row.gpu + std::string(": gmem chase within 200~500 cycles"),
+                 r.gmem_read_cycles >= 200 && r.gmem_read_cycles <= 500);
+  }
+  std::cout << t.str();
+  checks.print();
+  return checks.failures() == 0 ? 0 : 1;
+}

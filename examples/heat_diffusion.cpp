@@ -1,0 +1,66 @@
+// Heat diffusion: iterate the 2D 5-point Jacobi stencil (Section 2.2) with
+// SSAM until near steady state, render the temperature field as ASCII, and
+// check the physics (maximum principle: temperatures stay within initial
+// bounds under a convex stencil).
+#include <iostream>
+
+#include "common/grid.hpp"
+#include "core/iterate.hpp"
+#include "gpusim/timing.hpp"
+
+int main() {
+  using namespace ssam;
+  const Index n = 192;
+  const int steps = 400;
+
+  // The diffusion stencil of Section 2.2 with convex coefficients.
+  core::StencilShape<float> diffusion;
+  diffusion.name = "2d5pt-diffusion";
+  diffusion.dims = 2;
+  diffusion.order = 1;
+  diffusion.taps = {{0, 0, 0, 0.60f},   // Current
+                    {-1, 0, 0, 0.10f},  // West
+                    {1, 0, 0, 0.10f},   // East
+                    {0, -1, 0, 0.10f},  // North
+                    {0, 1, 0, 0.10f}};  // South
+
+  // Hot square in a cold plate.
+  Grid2D<float> a(n, n, 0.0f), b(n, n);
+  for (Index y = n / 3; y < 2 * n / 3; ++y) {
+    for (Index x = n / 3; x < 2 * n / 3; ++x) a.at(x, y) = 1.0f;
+  }
+
+  core::iterate_stencil2d<float>(sim::tesla_v100(), a, b, diffusion, steps);
+
+  // Maximum principle: all temperatures within [0, 1].
+  float lo = 1e9f, hi = -1e9f;
+  for (Index i = 0; i < a.size(); ++i) {
+    lo = std::min(lo, a.data()[i]);
+    hi = std::max(hi, a.data()[i]);
+  }
+  std::cout << "after " << steps << " steps: min=" << lo << " max=" << hi
+            << (lo >= -1e-5f && hi <= 1.0f + 1e-5f ? "  (maximum principle holds)\n"
+                                                   : "  (VIOLATION!)\n");
+
+  // ASCII rendering (24x48 downsample), normalized to the current peak.
+  const char* shades = " .:-=+*#%@";
+  const float norm = hi > 0 ? 1.0f / hi : 1.0f;
+  for (int ty = 0; ty < 24; ++ty) {
+    for (int tx = 0; tx < 48; ++tx) {
+      const float v = a.at(tx * n / 48, ty * n / 24) * norm;
+      const int s = std::max(0, std::min(9, static_cast<int>(v * 9.99f)));
+      std::cout << shades[s];
+    }
+    std::cout << '\n';
+  }
+
+  // Per-step cost on both simulated GPUs.
+  for (const sim::ArchSpec* arch : {&sim::tesla_p100(), &sim::tesla_v100()}) {
+    auto it = core::iterate_stencil2d<float>(*arch, a, b, diffusion, 1, {},
+                                             sim::ExecMode::kTiming);
+    const auto est = sim::estimate_runtime(*arch, it.per_step);
+    std::cout << arch->name << ": " << est.total_ms << " ms/step ("
+              << static_cast<double>(n) * n / est.total_ms / 1e6 << " GCells/s)\n";
+  }
+  return 0;
+}

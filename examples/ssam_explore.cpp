@@ -1,0 +1,163 @@
+// ssam_explore — command-line exploration of any kernel x GPU x problem size.
+//
+//   ssam_explore                             # demo sweep
+//   ssam_explore conv2d V100 4096 9          # 9x9 conv on 4096^2
+//   ssam_explore stencil P100 8192 2d13pt    # suite stencil by Table 3 name
+//   ssam_explore gemm V100 1024              # C = A*B at 1024^3
+//
+// Prints the simulated runtime estimate, the bound (compute/memory),
+// occupancy, instruction mix, and a functional spot-check against the
+// scalar reference on a reduced domain.
+#include <iostream>
+#include <string>
+
+#include "baselines/conv2d_direct.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/conv2d.hpp"
+#include "core/gemm.hpp"
+#include "core/stencil2d.hpp"
+#include "core/stencil3d.hpp"
+#include "core/stencil_suite.hpp"
+#include "gpusim/timing.hpp"
+#include "reference/conv.hpp"
+#include "reference/stencil.hpp"
+
+namespace {
+
+using namespace ssam;
+
+void report(const sim::ArchSpec& arch, const sim::KernelStats& stats, double cells,
+            bool verified) {
+  const auto est = sim::estimate_runtime(arch, stats);
+  ConsoleTable t({"metric", "value"});
+  t.add_row({"estimated runtime", ConsoleTable::num(est.total_ms, 4) + " ms"});
+  t.add_row({"throughput", ConsoleTable::num(cells / est.total_ms / 1e6, 2) + " GCells/s"});
+  t.add_row({"bound", est.bound});
+  t.add_row({"occupancy", ConsoleTable::num(est.occupancy.fraction * 100, 0) + "% (" +
+                              est.occupancy.limiter + "-limited)"});
+  t.add_row({"blocks", std::to_string(stats.blocks_total) + " (" +
+                           std::to_string(stats.blocks_timed) + " timed)"});
+  t.add_row({"FP warp-ops", std::to_string(stats.totals.fp_ops)});
+  t.add_row({"shuffles", std::to_string(stats.totals.shfl_ops)});
+  t.add_row({"smem ops", std::to_string(stats.totals.smem_loads + stats.totals.smem_stores)});
+  t.add_row({"DRAM traffic", ConsoleTable::num(
+                                 static_cast<double>(stats.totals.dram_bytes()) / 1e6, 1) +
+                                 " MB"});
+  t.add_row({"functional check", verified ? "PASS (reduced domain)" : "FAIL"});
+  std::cout << t.str();
+}
+
+int run_conv2d(const sim::ArchSpec& arch, Index n, int f) {
+  std::cout << "SSAM conv2d " << f << "x" << f << " on " << n << "^2 (" << arch.name
+            << ")\n";
+  std::vector<float> w(static_cast<std::size_t>(f) * f);
+  fill_random(w, 2, -0.5, 0.5);
+  // Functional verification on a reduced domain.
+  const Index vn = std::min<Index>(n, 384);
+  Grid2D<float> vin(vn, vn), vgot(vn, vn), vwant(vn, vn);
+  fill_random(vin, 3);
+  core::conv2d_ssam<float>(arch, vin.cview(), w, f, f, vgot.view());
+  ref::conv2d<float>(vin.cview(), w, f, f, vwant.view());
+  const bool ok =
+      normalized_max_diff<float>({vgot.data(), static_cast<std::size_t>(vgot.size())},
+                                 {vwant.data(), static_cast<std::size_t>(vwant.size())}) <=
+      verify_tolerance<float>(w.size());
+  // Timing at the requested size.
+  Grid2D<float> in(n, n), out(n, n);
+  auto stats = core::conv2d_ssam<float>(arch, in.cview(), w, f, f, out.view(), {},
+                                        sim::ExecMode::kTiming);
+  report(arch, stats, static_cast<double>(n) * n, ok);
+  return ok ? 0 : 1;
+}
+
+int run_stencil(const sim::ArchSpec& arch, Index n, const std::string& name) {
+  const auto shape = core::suite_stencil<float>(name);
+  std::cout << "SSAM stencil " << name << " on " << n << (shape.dims == 2 ? "^2" : "^3")
+            << " (" << arch.name << ")\n";
+  bool ok = false;
+  sim::KernelStats stats;
+  double cells = 0;
+  if (shape.dims == 2) {
+    const Index vn = std::min<Index>(n, 256);
+    Grid2D<float> vin(vn, vn), vgot(vn, vn), vwant(vn, vn);
+    fill_random(vin, 5);
+    core::stencil2d_ssam<float>(arch, vin.cview(), shape, vgot.view());
+    ref::stencil2d<float>(vin.cview(), shape.taps, vwant.view());
+    ok = normalized_max_diff<float>({vgot.data(), static_cast<std::size_t>(vgot.size())},
+                                    {vwant.data(), static_cast<std::size_t>(vwant.size())}) <=
+         verify_tolerance<float>(shape.taps.size());
+    Grid2D<float> in(n, n), out(n, n);
+    stats = core::stencil2d_ssam<float>(arch, in.cview(), shape, out.view(), {},
+                                        sim::ExecMode::kTiming);
+    cells = static_cast<double>(n) * n;
+  } else {
+    const Index vn = std::min<Index>(n, 48);
+    Grid3D<float> vin(vn, vn, vn), vgot(vn, vn, vn), vwant(vn, vn, vn);
+    fill_random(vin, 5);
+    core::stencil3d_ssam<float>(arch, vin.cview(), shape, vgot.view());
+    ref::stencil3d<float>(vin.cview(), shape.taps, vwant.view());
+    ok = normalized_max_diff<float>({vgot.data(), static_cast<std::size_t>(vgot.size())},
+                                    {vwant.data(), static_cast<std::size_t>(vwant.size())}) <=
+         verify_tolerance<float>(shape.taps.size());
+    const Index n3 = std::min<Index>(n, 512);
+    Grid3D<float> in(n3, n3, n3), out(n3, n3, n3);
+    stats = core::stencil3d_ssam<float>(arch, in.cview(), shape, out.view(), {},
+                                        sim::ExecMode::kTiming);
+    cells = static_cast<double>(n3) * n3 * n3;
+  }
+  report(arch, stats, cells, ok);
+  return ok ? 0 : 1;
+}
+
+int run_gemm(const sim::ArchSpec& arch, Index n) {
+  std::cout << "SSAM gemm " << n << "^3 (" << arch.name << ")\n";
+  const Index vn = std::min<Index>(n, 128);
+  Grid2D<float> va(vn, vn), vb(vn, vn), vgot(vn, vn), vwant(vn, vn);
+  fill_random(va, 7);
+  fill_random(vb, 8);
+  core::gemm_ssam<float>(arch, va.cview(), vb.cview(), vgot.view());
+  core::gemm_reference<float>(va.cview(), vb.cview(), vwant.view());
+  const bool ok =
+      normalized_max_diff<float>({vgot.data(), static_cast<std::size_t>(vgot.size())},
+                                 {vwant.data(), static_cast<std::size_t>(vwant.size())}) <=
+      verify_tolerance<float>(static_cast<std::size_t>(vn));
+  Grid2D<float> a(n, n), b(n, n), c(n, n);
+  auto stats = core::gemm_ssam<float>(arch, a.cview(), b.cview(), c.view(), {},
+                                      sim::ExecMode::kTiming);
+  report(arch, stats, static_cast<double>(n) * n, ok);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ssam;
+  try {
+    const std::string kernel = argc > 1 ? argv[1] : "demo";
+    const std::string arch_name = argc > 2 ? argv[2] : "V100";
+    const Index n = argc > 3 ? std::stoll(argv[3]) : 2048;
+    const sim::ArchSpec& arch = sim::arch_by_name(arch_name);
+
+    if (kernel == "conv2d") {
+      return run_conv2d(arch, n, argc > 4 ? std::stoi(argv[4]) : 5);
+    }
+    if (kernel == "stencil") {
+      return run_stencil(arch, n, argc > 4 ? argv[4] : "2d5pt");
+    }
+    if (kernel == "gemm") {
+      return run_gemm(arch, n);
+    }
+    // Demo: one of each.
+    int rc = run_conv2d(arch, 2048, 9);
+    rc |= run_stencil(arch, 2048, "2d9pt");
+    rc |= run_stencil(arch, 256, "3d7pt");
+    rc |= run_gemm(arch, 512);
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\nusage: ssam_explore "
+              << "[conv2d|stencil|gemm|demo] [K40|M40|P100|V100] [size] [filter|name]\n";
+    return 2;
+  }
+}

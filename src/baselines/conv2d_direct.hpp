@@ -1,0 +1,114 @@
+// NPP-like 2D convolution: direct global-memory convolution.
+//
+// NPP's FilterBorder kernels use no shared memory (Section 6.2 (ii)): every
+// tap is read from global memory through the L1/texture path, and 3x3 / 5x5
+// filters get dedicated fully-unrolled kernels
+// (FilterBorder32f{3x3,5x5}ReplicateQuadNew). We mirror both behaviours:
+//   * general path — per-tap clamped addressing plus a broadcast weight load;
+//   * dedicated path (M = N in {3, 5}) — weights as immediates and row-base
+//     addressing only, which is why NPP dips at exactly those sizes in Fig 4.
+#pragma once
+
+#include <span>
+
+#include "core/kernel_common.hpp"
+
+namespace ssam::base {
+
+using core::BlockContext;
+using core::ExecMode;
+using core::KernelStats;
+using core::Pred;
+using core::Reg;
+using core::SampleSpec;
+using core::WarpContext;
+
+struct ConvDirectOptions {
+  int rows_per_block = 4;  ///< one warp per output row
+  int block_threads = 128;
+};
+
+[[nodiscard]] inline bool npp_has_dedicated_kernel(int m, int n) {
+  return m == n && (m == 3 || m == 5);
+}
+
+[[nodiscard]] inline int conv2d_direct_regs(int m, int n) {
+  return npp_has_dedicated_kernel(m, n) ? 32 : 24;
+}
+
+template <typename T>
+KernelStats conv2d_direct(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                          std::span<const T> weights, int filter_m, int filter_n,
+                          GridView2D<T> out, const ConvDirectOptions& opt = {},
+                          ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  SSAM_REQUIRE(static_cast<Index>(weights.size()) ==
+                   static_cast<Index>(filter_m) * filter_n,
+               "weight count mismatch");
+  const int m = filter_m;
+  const int n = filter_n;
+  const int cx = (m - 1) / 2;
+  const int cy = (n - 1) / 2;
+  const Index width = in.width();
+  const Index height = in.height();
+  const int warps = opt.block_threads / sim::kWarpSize;
+  const bool dedicated = npp_has_dedicated_kernel(m, n);
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(width, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(height, warps)), 1};
+  cfg.block_threads = opt.block_threads;
+  cfg.regs_per_thread = conv2d_direct_regs(m, n);
+
+  const T* wgt = weights.data();
+  auto body = [&, m, n, cx, cy, width, height, warps, dedicated, wgt](BlockContext& blk) {
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index oy = static_cast<Index>(blk.id().y) * warps + w;
+      if (oy >= height) continue;
+      const Index x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+      if (x0 >= width) continue;
+
+      Reg<T> acc = wc.uniform(T{});
+      for (int fn = 0; fn < n; ++fn) {
+        Index y = oy + fn - cy;
+        y = y < 0 ? 0 : (y >= height ? height - 1 : y);
+        if (dedicated) {
+          // Unrolled dedicated kernel: one clamped row base per filter row,
+          // immediate weights, taps addressed by constant offsets.
+          const Reg<Index> gx0 =
+              wc.clamp(wc.iota<Index>(x0 - cx, 1), Index{0}, width - 1);
+          for (int fm = 0; fm < m; ++fm) {
+            Reg<Index> gx = fm == 0 ? gx0
+                                    : wc.clamp(wc.iota<Index>(x0 - cx + fm, 1), Index{0},
+                                               width - 1);
+            const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
+            const Reg<T> dv = wc.load_global(in.data(), gidx);
+            acc = wc.mad(dv, wgt[fn * m + fm], acc);
+          }
+        } else {
+          for (int fm = 0; fm < m; ++fm) {
+            // General path: runtime filter loops with per-tap bounds
+            // predicates (the FilterBorder kernels' measured mix), a clamp
+            // per tap, and the weight through the read-only cache.
+            wc.charge_alu(2);
+            const Reg<Index> gx =
+                wc.clamp(wc.iota<Index>(x0 + fm - cx, 1), Index{0}, width - 1);
+            const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
+            const Reg<T> dv = wc.load_global(in.data(), gidx);
+            const Reg<T> wv =
+                wc.load_global(wgt, wc.uniform<Index>(fn * m + fm));
+            acc = wc.mad(dv, wv, acc);
+          }
+        }
+      }
+      const Reg<Index> ox = wc.iota<Index>(x0, 1);
+      Pred ok = wc.cmp_lt(ox, width);
+      const Reg<Index> oidx = wc.affine(ox, 1, oy * out.pitch());
+      wc.store_global(out.data(), oidx, acc, &ok);
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+}  // namespace ssam::base

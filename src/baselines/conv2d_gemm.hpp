@@ -1,0 +1,117 @@
+// cuDNN-like 2D convolution: implicit-GEMM formulation.
+//
+// cuDNN's fastest general algorithm for these shapes is implicit GEMM: the
+// im2col matrix is never materialized; tiles are staged in shared memory and
+// each thread accumulates a register tile. For the paper's benchmark — ONE
+// single-channel image convolved with ONE filter (Section 6.2 (v)) — the
+// GEMM's N dimension is 1, so half of every 2-wide N register tile is
+// padding that the kernel still computes and then discards. That padding
+// work plus the per-k im2col index generation is why cuDNN trails SSAM here
+// despite its excellent smem amortization. cuDNN only supports odd filter
+// extents — callers must check `cudnn_supports()` like the bench does.
+#pragma once
+
+#include <span>
+
+#include "baselines/tile.hpp"
+#include "core/kernel_common.hpp"
+
+namespace ssam::base {
+
+using core::ExecMode;
+using core::KernelStats;
+using core::SampleSpec;
+
+[[nodiscard]] inline bool cudnn_supports(int m, int n) {
+  return m % 2 == 1 && n % 2 == 1 && m >= 3 && n >= 3;
+}
+
+struct ConvGemmOptions {
+  int block_threads = 128;  ///< 4 warps; 32 x 8 useful outputs (2 rows/thread)
+};
+
+[[nodiscard]] inline int conv2d_gemm_regs() { return 40; }
+
+template <typename T>
+KernelStats conv2d_gemm(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                        std::span<const T> weights, int filter_m, int filter_n,
+                        GridView2D<T> out, const ConvGemmOptions& opt = {},
+                        ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  SSAM_REQUIRE(cudnn_supports(filter_m, filter_n), "cuDNN path needs odd filter extents");
+  const int m = filter_m;
+  const int n = filter_n;
+  const int cx = (m - 1) / 2;
+  const int cy = (n - 1) / 2;
+  const Index width = in.width();
+  const Index height = in.height();
+  const int warps = opt.block_threads / sim::kWarpSize;
+  const int tile_h = warps;   // 2 output rows per thread => 2*warps rows
+  const int out_rows = 2 * tile_h;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(width, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(height, out_rows)), 1};
+  cfg.block_threads = opt.block_threads;
+  cfg.regs_per_thread = conv2d_gemm_regs();
+
+  const T* wgt = weights.data();
+  auto body = [&, m, n, cx, cy, width, height, warps, tile_h, wgt](BlockContext& blk) {
+    TileGeom2D g;
+    g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+    g.y0 = static_cast<Index>(blk.id().y) * (2 * tile_h);
+    g.tile_w = sim::kWarpSize;
+    g.tile_h = 2 * tile_h;
+    g.halo_x_lo = cx;
+    g.halo_x_hi = m - 1 - cx;
+    g.halo_y_lo = cy;
+    g.halo_y_hi = n - 1 - cy;
+
+    Smem<T> tile = blk.alloc_smem<T>(g.elems());
+    Smem<T> wsm = blk.alloc_smem<T>(m * n);
+    core::cooperative_load_to_smem(blk, wgt, wsm, m * n);
+    load_tile_2d(blk, in, g, tile);
+
+    const int pw = g.padded_w();
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      // 2x2 register tile: the M(gemm) dimension holds two output rows; the
+      // N(gemm) dimension is 1 for single-filter convolution, so the second
+      // N column (accP0/accP1) is tile padding — computed, never stored.
+      Reg<T> acc0 = wc.uniform(T{});
+      Reg<T> acc1 = wc.uniform(T{});
+      Reg<T> pad0 = wc.uniform(T{});
+      Reg<T> pad1 = wc.uniform(T{});
+      const int ty0 = w;
+      const int ty1 = w + tile_h;
+      for (int fn = 0; fn < n; ++fn) {
+        const Reg<int> base0 = wc.add(wc.lane_id(), (ty0 + fn) * pw);
+        const Reg<int> base1 = wc.add(wc.lane_id(), (ty1 + fn) * pw);
+        for (int fm = 0; fm < m; ++fm) {
+          // im2col index generation for the next k slice.
+          wc.charge_alu(2);
+          const Reg<T> wv = wc.load_shared_broadcast(wsm, fn * m + fm);
+          const Reg<T> d0 = wc.load_shared(tile, wc.add(base0, fm));
+          const Reg<T> d1 = wc.load_shared(tile, wc.add(base1, fm));
+          acc0 = wc.mad(d0, wv, acc0);
+          acc1 = wc.mad(d1, wv, acc1);
+          // Padding half of the N tile: same data path, discarded result.
+          pad0 = wc.mad(d0, wv, pad0);
+          pad1 = wc.mad(d1, wv, pad1);
+        }
+      }
+      auto store_row = [&](int ty, const Reg<T>& a) {
+        const Index oy = g.y0 + ty;
+        if (oy >= height) return;
+        const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+        Pred ok = wc.cmp_lt(ox, width);
+        wc.store_global(out.data(), wc.affine(ox, 1, oy * out.pitch()), a, &ok);
+      };
+      store_row(ty0, acc0);
+      store_row(ty1, acc1);
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+}  // namespace ssam::base

@@ -1,0 +1,98 @@
+// Halide-like 2D convolution: what Halide's GPU autoschedule emits for a
+// convolution pipeline — global loads relying on L1 residency, a y-unroll of
+// two outputs per thread so vertically adjacent taps share loads, weights
+// fetched through the read-only cache.
+#pragma once
+
+#include <span>
+
+#include "core/kernel_common.hpp"
+
+namespace ssam::base {
+
+using core::BlockContext;
+using core::ExecMode;
+using core::KernelStats;
+using core::Pred;
+using core::Reg;
+using core::SampleSpec;
+using core::WarpContext;
+
+struct ConvHalideOptions {
+  // Halide's GPU autoschedule does not unroll the (runtime-sized) filter
+  // loops for general convolutions; it emits a straight loop nest with
+  // boundary lambdas — modest reuse, real bookkeeping (Section 6.2 (iv)).
+  int unroll_y = 1;
+  int block_threads = 128;
+};
+
+[[nodiscard]] inline int conv2d_halide_regs(int unroll_y) { return 22 + 6 * unroll_y; }
+
+template <typename T>
+KernelStats conv2d_halide(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                          std::span<const T> weights, int filter_m, int filter_n,
+                          GridView2D<T> out, const ConvHalideOptions& opt = {},
+                          ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  const int m = filter_m;
+  const int n = filter_n;
+  const int cx = (m - 1) / 2;
+  const int cy = (n - 1) / 2;
+  const Index width = in.width();
+  const Index height = in.height();
+  const int warps = opt.block_threads / sim::kWarpSize;
+  const int uy = opt.unroll_y;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(width, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(height, static_cast<long long>(warps) * uy)), 1};
+  cfg.block_threads = opt.block_threads;
+  cfg.regs_per_thread = conv2d_halide_regs(uy);
+
+  const T* wgt = weights.data();
+  auto body = [&, m, n, cx, cy, width, height, warps, uy, wgt](BlockContext& blk) {
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index oy0 =
+          (static_cast<Index>(blk.id().y) * warps + w) * uy;
+      const Index x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+      if (oy0 >= height || x0 >= width) continue;
+
+      std::vector<Reg<T>> acc(static_cast<std::size_t>(uy));
+      for (int u = 0; u < uy; ++u) acc[static_cast<std::size_t>(u)] = wc.uniform(T{});
+
+      // Rows oy0-cy .. oy0+uy-1+n-1-cy: loaded once, reused by the unrolled
+      // outputs that touch them (Halide's y-fused loop nest).
+      for (int fn = 0; fn < n + uy - 1; ++fn) {
+        Index y = oy0 + fn - cy;
+        y = y < 0 ? 0 : (y >= height ? height - 1 : y);
+        for (int fm = 0; fm < m; ++fm) {
+          // Runtime loop nest + boundary lambda evaluation per tap.
+          wc.charge_alu(2);
+          const Reg<Index> gx =
+              wc.clamp(wc.iota<Index>(x0 + fm - cx, 1), Index{0}, width - 1);
+          const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
+          const Reg<T> dv = wc.load_global(in.data(), gidx);
+          for (int u = 0; u < uy; ++u) {
+            const int tap_n = fn - u;
+            if (tap_n < 0 || tap_n >= n) continue;
+            const Reg<T> wv = wc.load_global(wgt, wc.uniform<Index>(tap_n * m + fm));
+            acc[static_cast<std::size_t>(u)] =
+                wc.mad(dv, wv, acc[static_cast<std::size_t>(u)]);
+          }
+        }
+      }
+      const Reg<Index> ox = wc.iota<Index>(x0, 1);
+      Pred ok = wc.cmp_lt(ox, width);
+      for (int u = 0; u < uy; ++u) {
+        const Index oy = oy0 + u;
+        if (oy >= height) break;
+        const Reg<Index> oidx = wc.affine(ox, 1, oy * out.pitch());
+        wc.store_global(out.data(), oidx, acc[static_cast<std::size_t>(u)], &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+}  // namespace ssam::base

@@ -1,0 +1,102 @@
+// ArrayFire-like 2D convolution: the conventional shared-memory scheme.
+//
+// Mirrors ArrayFire's `kernel::convolve2` (Section 6.2): the image tile is
+// staged in shared memory with its halo, filter weights are read through a
+// broadcast cache, and every output point runs an M*N multiply-accumulate
+// loop with one shared-memory data read per tap — the Lsmem cost model of
+// Section 5.2 (two scratchpad-class reads per MAD vs SSAM's one).
+// ArrayFire's kernel caps the filter at 16x16; the cap is exported for the
+// benches but not enforced here so ablations can exceed it.
+#pragma once
+
+#include <span>
+
+#include "baselines/tile.hpp"
+#include "core/kernel_common.hpp"
+
+namespace ssam::base {
+
+using core::ExecMode;
+using core::KernelStats;
+using core::SampleSpec;
+
+inline constexpr int kArrayFireMaxFilter = 16;  ///< convolve2 limit (Section 6.2 (i))
+
+struct ConvSmemOptions {
+  int tile_h = 8;  ///< output rows per block (tile width is one warp)
+  int block_threads = 128;
+};
+
+[[nodiscard]] inline int conv2d_smem_regs() { return 28; }
+
+template <typename T>
+KernelStats conv2d_smem(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                        std::span<const T> weights, int filter_m, int filter_n,
+                        GridView2D<T> out, const ConvSmemOptions& opt = {},
+                        ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  SSAM_REQUIRE(static_cast<Index>(weights.size()) ==
+                   static_cast<Index>(filter_m) * filter_n,
+               "weight count mismatch");
+  const int m = filter_m;
+  const int n = filter_n;
+  const int cx = (m - 1) / 2;
+  const int cy = (n - 1) / 2;
+  const Index width = in.width();
+  const Index height = in.height();
+  const int warps = opt.block_threads / sim::kWarpSize;
+  const int rows_per_warp = opt.tile_h / warps;
+  SSAM_REQUIRE(rows_per_warp * warps == opt.tile_h, "tile_h must divide by warps");
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(width, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(height, opt.tile_h)), 1};
+  cfg.block_threads = opt.block_threads;
+  cfg.regs_per_thread = conv2d_smem_regs();
+
+  const T* wgt = weights.data();
+  auto body = [&, m, n, cx, cy, width, height, warps, rows_per_warp, wgt](BlockContext& blk) {
+    TileGeom2D g;
+    g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+    g.y0 = static_cast<Index>(blk.id().y) * (rows_per_warp * warps);
+    g.tile_w = sim::kWarpSize;
+    g.tile_h = rows_per_warp * warps;
+    g.halo_x_lo = cx;
+    g.halo_x_hi = m - 1 - cx;
+    g.halo_y_lo = cy;
+    g.halo_y_hi = n - 1 - cy;
+
+    Smem<T> tile = blk.alloc_smem<T>(g.elems());
+    Smem<T> wsm = blk.alloc_smem<T>(m * n);  // stands in for the constant cache
+    core::cooperative_load_to_smem(blk, wgt, wsm, m * n);
+    load_tile_2d(blk, in, g, tile);
+
+    const int pw = g.padded_w();
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      for (int r = 0; r < rows_per_warp; ++r) {
+        const int ty = w * rows_per_warp + r;
+        const Index oy = g.y0 + ty;
+        if (oy >= height) continue;
+        Reg<T> acc = wc.uniform(T{});
+        for (int fn = 0; fn < n; ++fn) {
+          // Row base inside the padded tile; one ALU per row (unrolled code
+          // folds the rest into the LDS immediate offset).
+          const Reg<int> base = wc.add(wc.lane_id(), (ty + fn) * pw);
+          for (int fm = 0; fm < m; ++fm) {
+            const Reg<T> wv = wc.load_shared_broadcast(wsm, fn * m + fm);
+            const Reg<T> dv = wc.load_shared(tile, wc.add(base, fm));
+            acc = wc.mad(dv, wv, acc);
+          }
+        }
+        const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+        Pred ok = wc.cmp_lt(ox, width);
+        const Reg<Index> oidx = wc.affine(ox, 1, oy * out.pitch());
+        wc.store_global(out.data(), oidx, acc, &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+}  // namespace ssam::base

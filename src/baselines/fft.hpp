@@ -1,0 +1,75 @@
+// FFT substrate for the cuFFT-like convolution baseline.
+//
+// A self-contained iterative radix-2 Cooley–Tukey FFT (power-of-two sizes)
+// with 2D row/column helpers. Functional correctness lives here; the
+// simulated-GPU timing of the cuFFT-like pipeline is in conv2d_fft.hpp.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/grid.hpp"
+
+namespace ssam::base {
+
+[[nodiscard]] constexpr bool is_pow2(Index n) { return n > 0 && (n & (n - 1)) == 0; }
+
+[[nodiscard]] constexpr Index next_pow2(Index n) {
+  Index p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+[[nodiscard]] constexpr int ilog2(Index n) {
+  int k = 0;
+  while ((Index{1} << k) < n) ++k;
+  return k;
+}
+
+/// In-place iterative radix-2 FFT. `inverse` applies the conjugate transform
+/// and the 1/n scale.
+template <typename T>
+void fft_inplace(std::complex<T>* data, Index n, bool inverse) {
+  SSAM_REQUIRE(is_pow2(n), "fft size must be a power of two");
+  // Bit-reversal permutation.
+  for (Index i = 1, j = 0; i < n; ++i) {
+    Index bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (Index len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * 3.14159265358979323846 / static_cast<double>(len);
+    const std::complex<double> wl(std::cos(ang), std::sin(ang));
+    for (Index i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (Index k = 0; k < len / 2; ++k) {
+        const std::complex<double> u(data[i + k]);
+        const std::complex<double> v = std::complex<double>(data[i + k + len / 2]) * w;
+        data[i + k] = std::complex<T>(u + v);
+        data[i + k + len / 2] = std::complex<T>(u - v);
+        w *= wl;
+      }
+    }
+  }
+  if (inverse) {
+    const T scale = static_cast<T>(1.0 / static_cast<double>(n));
+    for (Index i = 0; i < n; ++i) data[i] *= scale;
+  }
+}
+
+/// 2D FFT over a row-major width x height complex grid (rows then columns).
+template <typename T>
+void fft2d_inplace(std::complex<T>* data, Index width, Index height, bool inverse) {
+  for (Index y = 0; y < height; ++y) fft_inplace(data + y * width, width, inverse);
+  std::vector<std::complex<T>> col(static_cast<std::size_t>(height));
+  for (Index x = 0; x < width; ++x) {
+    for (Index y = 0; y < height; ++y) col[static_cast<std::size_t>(y)] = data[y * width + x];
+    fft_inplace(col.data(), height, inverse);
+    for (Index y = 0; y < height; ++y) data[y * width + x] = col[static_cast<std::size_t>(y)];
+  }
+}
+
+}  // namespace ssam::base

@@ -1,0 +1,219 @@
+// Direct (no scratchpad) stencil baselines: the "original", "reordered",
+// "unrolled" variants of Rawat et al. [47, 48] that Figure 5 compares
+// against, plus the Halide-like schedule (global loads + small unroll).
+//
+// Mechanistic differences:
+//   * original  — one output/thread, per-tap clamped addressing, naive
+//                 register allocation (low occupancy for high-order shapes);
+//   * reordered — same loads, but reassociated index math (1 ALU/tap) and a
+//                 tighter register footprint: the register-optimization the
+//                 papers describe, which pays off for high-order stencils;
+//   * unrolled  — U outputs per thread marching y; loads of the same column
+//                 are kept in registers and reused across the U outputs
+//                 (vertical reuse without warp communication);
+//   * halide    — unrolled with U=2 and reordered-style addressing.
+#pragma once
+
+#include <vector>
+
+#include "core/kernel_common.hpp"
+#include "core/stencil_shape.hpp"
+
+namespace ssam::base {
+
+using core::BlockContext;
+using core::ExecMode;
+using core::KernelStats;
+using core::Pred;
+using core::Reg;
+using core::SampleSpec;
+using core::StencilShape;
+using core::WarpContext;
+
+enum class DirectStyle { kOriginal, kReordered, kUnrolled, kHalide };
+
+[[nodiscard]] inline const char* to_string(DirectStyle s) {
+  switch (s) {
+    case DirectStyle::kOriginal: return "original";
+    case DirectStyle::kReordered: return "reordered";
+    case DirectStyle::kUnrolled: return "unrolled";
+    case DirectStyle::kHalide: return "Halide";
+  }
+  return "?";
+}
+
+namespace detail {
+struct DirectPolicy {
+  int unroll = 1;        ///< outputs per thread along y
+  int alu_per_tap = 3;   ///< addressing cost per tap (clamp + affine)
+  int base_regs = 18;
+  double regs_per_tap = 0.5;
+};
+
+[[nodiscard]] inline DirectPolicy policy_of(DirectStyle s) {
+  switch (s) {
+    case DirectStyle::kOriginal: return {1, 3, 18, 0.50};
+    case DirectStyle::kReordered: return {1, 1, 16, 0.25};
+    case DirectStyle::kUnrolled: return {4, 1, 22, 0.75};
+    case DirectStyle::kHalide: return {2, 2, 20, 0.50};
+  }
+  return {};
+}
+}  // namespace detail
+
+[[nodiscard]] inline int stencil_direct_regs(DirectStyle s, int taps) {
+  const auto p = detail::policy_of(s);
+  return p.base_regs + static_cast<int>(p.regs_per_tap * taps);
+}
+
+/// 2D direct stencil. One warp covers 32 consecutive x, `unroll` rows of y.
+template <typename T>
+KernelStats stencil2d_direct(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                             const StencilShape<T>& shape, GridView2D<T> out,
+                             DirectStyle style, ExecMode mode = ExecMode::kFunctional,
+                             SampleSpec sample = {}) {
+  const auto pol = detail::policy_of(style);
+  const Index width = in.width();
+  const Index height = in.height();
+  constexpr int kBlockThreads = 128;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const int uy = pol.unroll;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(width, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(height, static_cast<long long>(warps) * uy)), 1};
+  cfg.block_threads = kBlockThreads;
+  cfg.regs_per_thread = stencil_direct_regs(style, static_cast<int>(shape.taps.size()));
+
+  // Organize taps by column for the register-reuse variants.
+  int dx_min = 0, dx_max = 0, dy_min = 0, dy_max = 0;
+  for (const auto& t : shape.taps) {
+    dx_min = std::min(dx_min, t.dx);
+    dx_max = std::max(dx_max, t.dx);
+    dy_min = std::min(dy_min, t.dy);
+    dy_max = std::max(dy_max, t.dy);
+  }
+
+  auto body = [&, width, height, warps, uy, pol, dx_min, dx_max, dy_min,
+               dy_max](BlockContext& blk) {
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index oy0 = (static_cast<Index>(blk.id().y) * warps + w) * uy;
+      const Index x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+      if (oy0 >= height || x0 >= width) continue;
+
+      std::vector<Reg<T>> acc(static_cast<std::size_t>(uy));
+      for (int u = 0; u < uy; ++u) acc[static_cast<std::size_t>(u)] = wc.uniform(T{});
+
+      if (uy == 1) {
+        // original / reordered: straight per-tap loads.
+        for (const auto& tap : shape.taps) {
+          Index y = oy0 + tap.dy;
+          y = y < 0 ? 0 : (y >= height ? height - 1 : y);
+          const Reg<Index> gx =
+              wc.clamp(wc.iota<Index>(x0 + tap.dx, 1), Index{0}, width - 1);
+          const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
+          const Reg<T> dv = wc.load_global(in.data(), gidx);
+          acc[0] = wc.mad(dv, tap.coeff, acc[0]);
+        }
+      } else {
+        // unrolled / Halide: per column, load the row range once and feed
+        // all unrolled outputs from registers.
+        for (int dx = dx_min; dx <= dx_max; ++dx) {
+          bool column_used = false;
+          for (const auto& tap : shape.taps) column_used |= (tap.dx == dx);
+          if (!column_used) continue;
+          std::vector<Reg<T>> rows(static_cast<std::size_t>(dy_max - dy_min + uy));
+          const Reg<Index> gx = wc.clamp(wc.iota<Index>(x0 + dx, 1), Index{0}, width - 1);
+          for (int r = 0; r < static_cast<int>(rows.size()); ++r) {
+            Index y = oy0 + dy_min + r;
+            y = y < 0 ? 0 : (y >= height ? height - 1 : y);
+            const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
+            rows[static_cast<std::size_t>(r)] = wc.load_global(in.data(), gidx);
+          }
+          for (const auto& tap : shape.taps) {
+            if (tap.dx != dx) continue;
+            for (int u = 0; u < uy; ++u) {
+              acc[static_cast<std::size_t>(u)] =
+                  wc.mad(rows[static_cast<std::size_t>(tap.dy - dy_min + u)], tap.coeff,
+                         acc[static_cast<std::size_t>(u)]);
+            }
+          }
+        }
+      }
+
+      const Reg<Index> ox = wc.iota<Index>(x0, 1);
+      Pred ok = wc.cmp_lt(ox, width);
+      for (int u = 0; u < uy; ++u) {
+        const Index oy = oy0 + u;
+        if (oy >= height) break;
+        const Reg<Index> oidx = wc.affine(ox, 1, oy * out.pitch());
+        wc.store_global(out.data(), oidx, acc[static_cast<std::size_t>(u)], &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+/// 3D direct stencil with the same policy knobs.
+template <typename T>
+KernelStats stencil3d_direct(const sim::ArchSpec& arch, const GridView3D<const T>& in,
+                             const StencilShape<T>& shape, GridView3D<T> out,
+                             DirectStyle style, ExecMode mode = ExecMode::kFunctional,
+                             SampleSpec sample = {}) {
+  const auto pol = detail::policy_of(style);
+  const Index nx = in.nx();
+  const Index ny = in.ny();
+  const Index nz = in.nz();
+  constexpr int kBlockThreads = 128;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const int uy = pol.unroll;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(nx, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(ny, static_cast<long long>(warps) * uy)),
+                  static_cast<int>(nz)};
+  cfg.block_threads = kBlockThreads;
+  cfg.regs_per_thread = stencil_direct_regs(style, static_cast<int>(shape.taps.size())) + 6;
+
+  auto body = [&, nx, ny, nz, warps, uy](BlockContext& blk) {
+    const Index z = blk.id().z;
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index oy0 = (static_cast<Index>(blk.id().y) * warps + w) * uy;
+      const Index x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+      if (oy0 >= ny || x0 >= nx) continue;
+
+      std::vector<Reg<T>> acc(static_cast<std::size_t>(uy));
+      for (int u = 0; u < uy; ++u) acc[static_cast<std::size_t>(u)] = wc.uniform(T{});
+
+      for (const auto& tap : shape.taps) {
+        Index zz = z + tap.dz;
+        zz = zz < 0 ? 0 : (zz >= nz ? nz - 1 : zz);
+        const Reg<Index> gx = wc.clamp(wc.iota<Index>(x0 + tap.dx, 1), Index{0}, nx - 1);
+        for (int u = 0; u < uy; ++u) {
+          Index y = oy0 + u + tap.dy;
+          y = y < 0 ? 0 : (y >= ny ? ny - 1 : y);
+          const Reg<Index> gidx = wc.affine(gx, 1, (zz * ny + y) * nx);
+          const Reg<T> dv = wc.load_global(in.data(), gidx);
+          acc[static_cast<std::size_t>(u)] =
+              wc.mad(dv, tap.coeff, acc[static_cast<std::size_t>(u)]);
+        }
+      }
+
+      const Reg<Index> ox = wc.iota<Index>(x0, 1);
+      Pred ok = wc.cmp_lt(ox, nx);
+      for (int u = 0; u < uy; ++u) {
+        const Index oy = oy0 + u;
+        if (oy >= ny) break;
+        const Reg<Index> oidx = wc.affine(ox, 1, (z * ny + oy) * nx);
+        wc.store_global(out.data(), oidx, acc[static_cast<std::size_t>(u)], &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+}  // namespace ssam::base

@@ -1,0 +1,219 @@
+// StencilGen-like overlapped temporal blocking in shared memory [49].
+//
+// A block stages a tile padded by t*r halo cells, applies the stencil t
+// times entirely in shared memory (double buffered, barrier between steps,
+// redundantly computing the shrinking halo ring), and writes the interior
+// once. Global traffic drops by ~t; redundant compute and barriers are the
+// price — exactly the trade Figure 6 probes.
+//
+// Border note: halo cells outside the domain are replicate-clamped at load
+// time, so cells within t*r of the domain edge follow the standard
+// ghost-zone approximation; interior cells are exact (tests verify this).
+#pragma once
+
+#include <vector>
+
+#include "baselines/tile.hpp"
+#include "core/kernel_common.hpp"
+#include "core/stencil_shape.hpp"
+
+namespace ssam::base {
+
+using core::ExecMode;
+using core::KernelStats;
+using core::SampleSpec;
+using core::StencilShape;
+
+struct TemporalOptions {
+  int t = 4;  ///< fused time steps
+};
+
+[[nodiscard]] inline int stencil_temporal_regs() { return 30; }
+
+/// 2D temporal blocking: 32 x 8 output tile, t fused steps.
+template <typename T>
+KernelStats stencil2d_temporal_smem(const sim::ArchSpec& arch,
+                                    const GridView2D<const T>& in,
+                                    const StencilShape<T>& shape, GridView2D<T> out,
+                                    const TemporalOptions& opt = {},
+                                    ExecMode mode = ExecMode::kFunctional,
+                                    SampleSpec sample = {}) {
+  int rx = 0, ry = 0;
+  for (const auto& tap : shape.taps) {
+    rx = std::max(rx, std::abs(tap.dx));
+    ry = std::max(ry, std::abs(tap.dy));
+  }
+  const int t = opt.t;
+  const Index width = in.width();
+  const Index height = in.height();
+  constexpr int kBlockThreads = 128;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const int tile_h = 8;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(width, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(height, tile_h)), 1};
+  cfg.block_threads = kBlockThreads;
+  cfg.regs_per_thread = stencil_temporal_regs();
+
+  auto body = [&, width, height, warps, tile_h, rx, ry, t](BlockContext& blk) {
+    TileGeom2D g;
+    g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+    g.y0 = static_cast<Index>(blk.id().y) * tile_h;
+    g.tile_w = sim::kWarpSize;
+    g.tile_h = tile_h;
+    g.halo_x_lo = g.halo_x_hi = t * rx;
+    g.halo_y_lo = g.halo_y_hi = t * ry;
+    const int pw = g.padded_w();
+    const int ph = g.padded_h();
+    Smem<T> buf_a = blk.alloc_smem<T>(pw * ph);
+    Smem<T> buf_b = blk.alloc_smem<T>(pw * ph);
+    load_tile_2d(blk, in, g, buf_a);
+
+    Smem<T>* src = &buf_a;
+    Smem<T>* dst = &buf_b;
+    for (int s = 0; s < t; ++s) {
+      // Computable region after step s: padded cells at distance >= (s+1)*r
+      // from the buffer edge (the halo ring consumed so far).
+      const int x_start = (s + 1) * rx;
+      const int y_start = (s + 1) * ry;
+      const int xw = pw - 2 * x_start;
+      const int yh = ph - 2 * y_start;
+      // Compute rows of the shrunk region, block-striped over warps.
+      for (int row = 0; row < yh; ++row) {
+        const int w = row % warps;
+        WarpContext& wc = blk.warp(w);
+        for (int cx = 0; cx < xw; cx += sim::kWarpSize) {
+          Pred active = wc.cmp_lt(wc.iota<int>(cx, 1), xw);
+          Reg<T> acc = wc.uniform(T{});
+          for (const auto& tap : shape.taps) {
+            const int si = (y_start + row + tap.dy) * pw + x_start + cx + tap.dx;
+            const Reg<T> dv = wc.load_shared(*src, wc.add(wc.lane_id(), si), &active);
+            acc = wc.mad(dv, tap.coeff, acc);
+          }
+          const Reg<int> di = wc.add(wc.lane_id(), (y_start + row) * pw + x_start + cx);
+          wc.store_shared(*dst, di, acc, &active);
+        }
+      }
+      blk.sync();
+      std::swap(src, dst);
+    }
+
+    // Write the interior tile.
+    for (int ty = 0; ty < tile_h; ++ty) {
+      const int w = ty % warps;
+      WarpContext& wc = blk.warp(w);
+      const Index oy = g.y0 + ty;
+      if (oy >= height) continue;
+      const Reg<T> v =
+          wc.load_shared(*src, wc.add(wc.lane_id(), (ty + t * ry) * pw + t * rx));
+      const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+      Pred ok = wc.cmp_lt(ox, width);
+      wc.store_global(out.data(), wc.affine(ox, 1, oy * out.pitch()), v, &ok);
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+/// 3D temporal blocking: 32 x 4 x 4 output tile, t fused steps.
+template <typename T>
+KernelStats stencil3d_temporal_smem(const sim::ArchSpec& arch,
+                                    const GridView3D<const T>& in,
+                                    const StencilShape<T>& shape, GridView3D<T> out,
+                                    const TemporalOptions& opt = {},
+                                    ExecMode mode = ExecMode::kFunctional,
+                                    SampleSpec sample = {}) {
+  int rx = 0, ry = 0, rz = 0;
+  for (const auto& tap : shape.taps) {
+    rx = std::max(rx, std::abs(tap.dx));
+    ry = std::max(ry, std::abs(tap.dy));
+    rz = std::max(rz, std::abs(tap.dz));
+  }
+  const int t = opt.t;
+  const Index nx = in.nx(), ny = in.ny(), nz = in.nz();
+  constexpr int kBlockThreads = 128;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const int tile_h = 4, tile_d = 4;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(nx, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(ny, tile_h)),
+                  static_cast<int>(ceil_div(nz, tile_d))};
+  cfg.block_threads = kBlockThreads;
+  cfg.regs_per_thread = stencil_temporal_regs();
+
+  auto body = [&, nx, ny, nz, warps, tile_h, tile_d, rx, ry, rz, t](BlockContext& blk) {
+    TileGeom3D g;
+    g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+    g.y0 = static_cast<Index>(blk.id().y) * tile_h;
+    g.z0 = static_cast<Index>(blk.id().z) * tile_d;
+    g.tile_w = sim::kWarpSize;
+    g.tile_h = tile_h;
+    g.tile_d = tile_d;
+    g.halo_x = t * rx;
+    g.halo_y = t * ry;
+    g.halo_z = t * rz;
+    const int pw = g.padded_w();
+    const int ph = g.padded_h();
+    const int pd = g.padded_d();
+    Smem<T> buf_a = blk.alloc_smem<T>(pw * ph * pd);
+    Smem<T> buf_b = blk.alloc_smem<T>(pw * ph * pd);
+    load_tile_3d(blk, in, g, buf_a);
+
+    Smem<T>* src = &buf_a;
+    Smem<T>* dst = &buf_b;
+    for (int s = 0; s < t; ++s) {
+      const int x_start = (s + 1) * rx;
+      const int y_start = (s + 1) * ry;
+      const int z_start = (s + 1) * rz;
+      const int xw = pw - 2 * x_start;
+      const int yh = ph - 2 * y_start;
+      const int zh = pd - 2 * z_start;
+      int idx = 0;
+      for (int zz = 0; zz < zh; ++zz) {
+        for (int yy = 0; yy < yh; ++yy, ++idx) {
+          const int w = idx % warps;
+          WarpContext& wc = blk.warp(w);
+          for (int cx = 0; cx < xw; cx += sim::kWarpSize) {
+            Pred active = wc.cmp_lt(wc.iota<int>(cx, 1), xw);
+            Reg<T> acc = wc.uniform(T{});
+            for (const auto& tap : shape.taps) {
+              const int si =
+                  ((z_start + zz + tap.dz) * ph + y_start + yy + tap.dy) * pw +
+                  x_start + cx + tap.dx;
+              const Reg<T> dv = wc.load_shared(*src, wc.add(wc.lane_id(), si), &active);
+              acc = wc.mad(dv, tap.coeff, acc);
+            }
+            const Reg<int> di = wc.add(
+                wc.lane_id(), ((z_start + zz) * ph + y_start + yy) * pw + x_start + cx);
+            wc.store_shared(*dst, di, acc, &active);
+          }
+        }
+      }
+      blk.sync();
+      std::swap(src, dst);
+    }
+
+    int idx = 0;
+    for (int tz = 0; tz < tile_d; ++tz) {
+      for (int ty = 0; ty < tile_h; ++ty, ++idx) {
+        const int w = idx % warps;
+        WarpContext& wc = blk.warp(w);
+        const Index oy = g.y0 + ty;
+        const Index oz = g.z0 + tz;
+        if (oy >= ny || oz >= nz) continue;
+        const Reg<T> v = wc.load_shared(
+            *src,
+            wc.add(wc.lane_id(), ((tz + t * rz) * ph + ty + t * ry) * pw + t * rx));
+        const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+        Pred ok = wc.cmp_lt(ox, nx);
+        wc.store_global(out.data(), wc.affine(ox, 1, (oz * ny + oy) * nx), v, &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+}  // namespace ssam::base

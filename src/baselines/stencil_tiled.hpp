@@ -1,0 +1,229 @@
+// Scratchpad-tiled stencil baselines.
+//
+//   * stencil2d_smem_tiled / stencil3d_smem_tiled — the canonical schedule
+//     ppcg emits for stencils: stage a block tile (plus halo) in shared
+//     memory, then one LDS + MAD per tap per output.
+//   * stencil3d_zmarch — the "Diffusion" scheme (Maruyama & Aoki [32],
+//     Zohouri et al. [62]): a block marches along z keeping a circular
+//     buffer of 2*rz+1 shared planes, loading each input plane exactly once.
+#pragma once
+
+#include <vector>
+
+#include "baselines/tile.hpp"
+#include "core/kernel_common.hpp"
+#include "core/stencil_shape.hpp"
+
+namespace ssam::base {
+
+using core::ExecMode;
+using core::KernelStats;
+using core::SampleSpec;
+using core::StencilShape;
+
+[[nodiscard]] inline int stencil_tiled_regs() { return 26; }
+
+/// ppcg-style 2D tiled stencil: 32 x tile_h outputs per block.
+template <typename T>
+KernelStats stencil2d_smem_tiled(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                                 const StencilShape<T>& shape, GridView2D<T> out,
+                                 ExecMode mode = ExecMode::kFunctional,
+                                 SampleSpec sample = {}) {
+  int rx = 0, ry = 0;
+  for (const auto& t : shape.taps) {
+    rx = std::max(rx, std::abs(t.dx));
+    ry = std::max(ry, std::abs(t.dy));
+  }
+  const Index width = in.width();
+  const Index height = in.height();
+  constexpr int kBlockThreads = 128;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const int tile_h = 8;
+  const int rows_per_warp = tile_h / warps;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(width, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(height, tile_h)), 1};
+  cfg.block_threads = kBlockThreads;
+  cfg.regs_per_thread = stencil_tiled_regs();
+
+  auto body = [&, width, height, warps, tile_h, rows_per_warp, rx, ry](BlockContext& blk) {
+    TileGeom2D g;
+    g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+    g.y0 = static_cast<Index>(blk.id().y) * tile_h;
+    g.tile_w = sim::kWarpSize;
+    g.tile_h = tile_h;
+    g.halo_x_lo = g.halo_x_hi = rx;
+    g.halo_y_lo = g.halo_y_hi = ry;
+    Smem<T> tile = blk.alloc_smem<T>(g.elems());
+    load_tile_2d(blk, in, g, tile);
+
+    const int pw = g.padded_w();
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      for (int r = 0; r < rows_per_warp; ++r) {
+        const int ty = w * rows_per_warp + r;
+        const Index oy = g.y0 + ty;
+        if (oy >= height) continue;
+        Reg<T> acc = wc.uniform(T{});
+        for (const auto& tap : shape.taps) {
+          const Reg<int> sidx =
+              wc.add(wc.lane_id(), (ty + ry + tap.dy) * pw + rx + tap.dx);
+          const Reg<T> dv = wc.load_shared(tile, sidx);
+          acc = wc.mad(dv, tap.coeff, acc);
+        }
+        const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+        Pred ok = wc.cmp_lt(ox, width);
+        wc.store_global(out.data(), wc.affine(ox, 1, oy * out.pitch()), acc, &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+/// ppcg-style 3D tiled stencil: 32 x 8 x 8 outputs per block (256 threads).
+template <typename T>
+KernelStats stencil3d_smem_tiled(const sim::ArchSpec& arch, const GridView3D<const T>& in,
+                                 const StencilShape<T>& shape, GridView3D<T> out,
+                                 ExecMode mode = ExecMode::kFunctional,
+                                 SampleSpec sample = {}) {
+  int rx = 0, ry = 0, rz = 0;
+  for (const auto& t : shape.taps) {
+    rx = std::max(rx, std::abs(t.dx));
+    ry = std::max(ry, std::abs(t.dy));
+    rz = std::max(rz, std::abs(t.dz));
+  }
+  const Index nx = in.nx(), ny = in.ny(), nz = in.nz();
+  constexpr int kBlockThreads = 256;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const int tile_h = 8, tile_d = 8;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(nx, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(ny, tile_h)),
+                  static_cast<int>(ceil_div(nz, tile_d))};
+  cfg.block_threads = kBlockThreads;
+  cfg.regs_per_thread = stencil_tiled_regs() + 6;
+
+  auto body = [&, nx, ny, nz, warps, tile_h, tile_d, rx, ry, rz](BlockContext& blk) {
+    TileGeom3D g;
+    g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+    g.y0 = static_cast<Index>(blk.id().y) * tile_h;
+    g.z0 = static_cast<Index>(blk.id().z) * tile_d;
+    g.tile_w = sim::kWarpSize;
+    g.tile_h = tile_h;
+    g.tile_d = tile_d;
+    g.halo_x = rx;
+    g.halo_y = ry;
+    g.halo_z = rz;
+    Smem<T> tile = blk.alloc_smem<T>(g.elems());
+    load_tile_3d(blk, in, g, tile);
+
+    const int pw = g.padded_w();
+    const int ph = g.padded_h();
+    const int cells = tile_h * tile_d;  // (y, z) pairs; one warp row each
+    for (int cell = 0; cell < cells; ++cell) {
+      const int w = cell % warps;
+      WarpContext& wc = blk.warp(w);
+      const int ty = cell % tile_h;
+      const int tz = cell / tile_h;
+      const Index oy = g.y0 + ty;
+      const Index oz = g.z0 + tz;
+      if (oy >= ny || oz >= nz) continue;
+      Reg<T> acc = wc.uniform(T{});
+      for (const auto& tap : shape.taps) {
+        const int si =
+            ((tz + rz + tap.dz) * ph + ty + ry + tap.dy) * pw + rx + tap.dx;
+        const Reg<T> dv = wc.load_shared(tile, wc.add(wc.lane_id(), si));
+        acc = wc.mad(dv, tap.coeff, acc);
+      }
+      const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+      Pred ok = wc.cmp_lt(ox, nx);
+      wc.store_global(out.data(), wc.affine(ox, 1, (oz * ny + oy) * nx), acc, &ok);
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+/// Diffusion-style 2.5D z-march: circular shared-plane window, each plane
+/// loaded from global memory exactly once per block column.
+template <typename T>
+KernelStats stencil3d_zmarch(const sim::ArchSpec& arch, const GridView3D<const T>& in,
+                             const StencilShape<T>& shape, GridView3D<T> out,
+                             ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  int rx = 0, ry = 0, rz = 0;
+  for (const auto& t : shape.taps) {
+    rx = std::max(rx, std::abs(t.dx));
+    ry = std::max(ry, std::abs(t.dy));
+    rz = std::max(rz, std::abs(t.dz));
+  }
+  const Index nx = in.nx(), ny = in.ny(), nz = in.nz();
+  constexpr int kBlockThreads = 128;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const int tile_h = 8;
+  const int rows_per_warp = tile_h / warps;
+  const int window = 2 * rz + 1;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(nx, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(ny, tile_h)), 1};
+  cfg.block_threads = kBlockThreads;
+  cfg.regs_per_thread = stencil_tiled_regs() + 2 * window;
+
+  auto body = [&, nx, ny, nz, warps, tile_h, rows_per_warp, rx, ry, rz,
+               window](BlockContext& blk) {
+    TileGeom2D g;
+    g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
+    g.y0 = static_cast<Index>(blk.id().y) * tile_h;
+    g.tile_w = sim::kWarpSize;
+    g.tile_h = tile_h;
+    g.halo_x_lo = g.halo_x_hi = rx;
+    g.halo_y_lo = g.halo_y_hi = ry;
+    const int plane_elems = g.elems();
+    Smem<T> planes = blk.alloc_smem<T>(plane_elems * window);
+
+    // Prime the window with planes [-rz, rz] (clamped).
+    auto load_plane = [&](Index z, int slot) {
+      z = z < 0 ? 0 : (z >= nz ? nz - 1 : z);
+      const GridView2D<const T> pl(in.data() + z * ny * nx, nx, ny, nx);
+      Smem<T> dst{planes.data + slot * plane_elems, plane_elems,
+                  planes.base_word + slot * plane_elems *
+                                         static_cast<int>(sizeof(T) / 4)};
+      load_tile_2d(blk, pl, g, dst);
+    };
+    for (int s = 0; s < window; ++s) load_plane(static_cast<Index>(s) - rz, s);
+
+    const int pw = g.padded_w();
+    for (Index z = 0; z < nz; ++z) {
+      // slot of plane z+dz: (z + dz + rz) mod window.
+      for (int w = 0; w < warps; ++w) {
+        WarpContext& wc = blk.warp(w);
+        for (int r = 0; r < rows_per_warp; ++r) {
+          const int ty = w * rows_per_warp + r;
+          const Index oy = g.y0 + ty;
+          if (oy >= ny) continue;
+          Reg<T> acc = wc.uniform(T{});
+          for (const auto& tap : shape.taps) {
+            const int slot = static_cast<int>((z + tap.dz + rz + window) % window);
+            const int si = slot * plane_elems + (ty + ry + tap.dy) * pw + rx + tap.dx;
+            const Reg<T> dv = wc.load_shared(planes, wc.add(wc.lane_id(), si));
+            acc = wc.mad(dv, tap.coeff, acc);
+          }
+          const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+          Pred ok = wc.cmp_lt(ox, nx);
+          wc.store_global(out.data(), wc.affine(ox, 1, (z * ny + oy) * nx), acc, &ok);
+        }
+      }
+      blk.sync();
+      // Rotate: plane z+rz+1 replaces the oldest plane (slot (z+2rz+1) mod w,
+      // which equals z mod w — the slot plane z-rz occupied).
+      load_plane(z + rz + 1, static_cast<int>((z + 2 * rz + 1) % window));
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+}  // namespace ssam::base

@@ -1,0 +1,100 @@
+// Shared-memory tile staging used by the scratchpad-based baselines
+// (ArrayFire-like convolution, ppcg-style stencils, StencilGen-style
+// temporal blocking).
+#pragma once
+
+#include "common/grid.hpp"
+#include "core/kernel_common.hpp"
+
+namespace ssam::base {
+
+using core::BlockContext;
+using core::Pred;
+using core::Reg;
+using core::Smem;
+using core::WarpContext;
+
+/// Geometry of a 2D shared tile: tile_w x tile_h interior anchored at
+/// (x0, y0) in the input, padded by (halo_x_lo/hi, halo_y_lo/hi).
+struct TileGeom2D {
+  Index x0 = 0, y0 = 0;
+  int tile_w = 32, tile_h = 8;
+  int halo_x_lo = 0, halo_x_hi = 0;
+  int halo_y_lo = 0, halo_y_hi = 0;
+
+  [[nodiscard]] int padded_w() const { return tile_w + halo_x_lo + halo_x_hi; }
+  [[nodiscard]] int padded_h() const { return tile_h + halo_y_lo + halo_y_hi; }
+  [[nodiscard]] int elems() const { return padded_w() * padded_h(); }
+};
+
+/// Cooperatively loads the padded tile into `dst` with replicate borders.
+/// Each warp strides over padded rows; loads are coalesced per 32-chunk.
+/// Ends with a barrier.
+template <typename T>
+void load_tile_2d(BlockContext& blk, const GridView2D<const T>& in, const TileGeom2D& g,
+                  const Smem<T>& dst) {
+  const int pw = g.padded_w();
+  const int ph = g.padded_h();
+  const int warps = blk.warp_count();
+  for (int w = 0; w < warps; ++w) {
+    WarpContext& wc = blk.warp(w);
+    for (int row = w; row < ph; row += warps) {
+      const Index y = g.y0 - g.halo_y_lo + row;
+      for (int cx = 0; cx < pw; cx += sim::kWarpSize) {
+        const Index lane_x0 = g.x0 - g.halo_x_lo + cx;
+        Reg<Index> gx = wc.clamp(wc.iota<Index>(lane_x0, 1), Index{0}, in.width() - 1);
+        Index yc = y < 0 ? 0 : (y >= in.height() ? in.height() - 1 : y);
+        const Reg<Index> gidx = wc.affine(gx, 1, yc * in.pitch());
+        Pred active = wc.cmp_lt(wc.iota<int>(cx, 1), pw);
+        const Reg<T> v = wc.load_global(in.data(), gidx, &active);
+        const Reg<int> sidx = wc.iota<int>(row * pw + cx, 1);
+        wc.store_shared(dst, sidx, v, &active);
+      }
+    }
+  }
+  blk.sync();
+}
+
+/// Geometry of a 3D shared tile.
+struct TileGeom3D {
+  Index x0 = 0, y0 = 0, z0 = 0;
+  int tile_w = 32, tile_h = 4, tile_d = 4;
+  int halo_x = 0, halo_y = 0, halo_z = 0;
+
+  [[nodiscard]] int padded_w() const { return tile_w + 2 * halo_x; }
+  [[nodiscard]] int padded_h() const { return tile_h + 2 * halo_y; }
+  [[nodiscard]] int padded_d() const { return tile_d + 2 * halo_z; }
+  [[nodiscard]] int elems() const { return padded_w() * padded_h() * padded_d(); }
+};
+
+template <typename T>
+void load_tile_3d(BlockContext& blk, const GridView3D<const T>& in, const TileGeom3D& g,
+                  const Smem<T>& dst) {
+  const int pw = g.padded_w();
+  const int ph = g.padded_h();
+  const int pd = g.padded_d();
+  const int warps = blk.warp_count();
+  for (int w = 0; w < warps; ++w) {
+    WarpContext& wc = blk.warp(w);
+    for (int slab = w; slab < ph * pd; slab += warps) {
+      const int row = slab % ph;
+      const int dep = slab / ph;
+      Index y = g.y0 - g.halo_y + row;
+      Index z = g.z0 - g.halo_z + dep;
+      y = y < 0 ? 0 : (y >= in.ny() ? in.ny() - 1 : y);
+      z = z < 0 ? 0 : (z >= in.nz() ? in.nz() - 1 : z);
+      for (int cx = 0; cx < pw; cx += sim::kWarpSize) {
+        Reg<Index> gx =
+            wc.clamp(wc.iota<Index>(g.x0 - g.halo_x + cx, 1), Index{0}, in.nx() - 1);
+        const Reg<Index> gidx = wc.affine(gx, 1, (z * in.ny() + y) * in.nx());
+        Pred active = wc.cmp_lt(wc.iota<int>(cx, 1), pw);
+        const Reg<T> v = wc.load_global(in.data(), gidx, &active);
+        const Reg<int> sidx = wc.iota<int>((dep * ph + row) * pw + cx, 1);
+        wc.store_shared(dst, sidx, v, &active);
+      }
+    }
+  }
+  blk.sync();
+}
+
+}  // namespace ssam::base

@@ -1,0 +1,44 @@
+// Error handling primitives for the SSAM library.
+//
+// We follow the C++ Core Guidelines (E.2/E.3): throw exceptions for
+// precondition violations in library entry points, since benchmarks and
+// examples want a recoverable, diagnosable failure rather than an abort.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ssam {
+
+/// Exception thrown when a library precondition is violated.
+class PreconditionError : public std::logic_error {
+ public:
+  explicit PreconditionError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Exception thrown when the simulated machine is misconfigured or a kernel
+/// exceeds a simulated hardware resource (registers, shared memory, ...).
+class ResourceError : public std::runtime_error {
+ public:
+  explicit ResourceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_precondition(const char* expr, const char* file, int line,
+                                           const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ssam
+
+/// Checked precondition. Always on: the simulator is a verification tool and
+/// silent out-of-contract behaviour would invalidate experiments.
+#define SSAM_REQUIRE(expr, msg)                                                \
+  do {                                                                         \
+    if (!(expr)) ::ssam::detail::fail_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

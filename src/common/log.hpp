@@ -1,0 +1,20 @@
+// Minimal leveled logging for examples and benchmark harness diagnostics.
+#pragma once
+
+#include <string>
+
+namespace ssam {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Defaults to Info.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+void log(LogLevel level, const std::string& message);
+
+inline void log_info(const std::string& m) { log(LogLevel::kInfo, m); }
+inline void log_warn(const std::string& m) { log(LogLevel::kWarn, m); }
+inline void log_debug(const std::string& m) { log(LogLevel::kDebug, m); }
+
+}  // namespace ssam

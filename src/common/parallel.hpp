@@ -1,0 +1,23 @@
+// Host-side parallel loops.
+//
+// The functional simulator executes independent thread blocks; OpenMP (when
+// available) parallelizes across host cores. Falls back to serial execution.
+#pragma once
+
+#include <cstdint>
+
+namespace ssam {
+
+/// Runs fn(i) for i in [0, n). fn must be safe to run concurrently for
+/// distinct i (blocks write disjoint output regions).
+template <typename Fn>
+void parallel_for(std::int64_t n, Fn&& fn) {
+#if defined(SSAM_HAVE_OPENMP)
+#pragma omp parallel for schedule(dynamic, 8)
+  for (std::int64_t i = 0; i < n; ++i) fn(i);
+#else
+  for (std::int64_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+}  // namespace ssam

@@ -1,0 +1,35 @@
+// Console table renderer for the benchmark harness.
+//
+// Every benchmark binary prints the same rows/series the paper reports;
+// this formatter keeps those tables aligned and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssam {
+
+/// Column-aligned ASCII table. Rows may be added as pre-formatted strings or
+/// numeric values (formatted with fixed precision).
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Appends a row; the row may have fewer cells than headers (padded).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header rule and column padding.
+  [[nodiscard]] std::string str() const;
+
+  /// Convenience numeric formatting.
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner so bench output groups by table/figure.
+void print_banner(const std::string& title);
+
+}  // namespace ssam

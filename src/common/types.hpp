@@ -1,0 +1,63 @@
+// Fundamental value types shared across the SSAM library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ssam {
+
+/// Simulated clock cycle count.
+using Cycle = std::uint64_t;
+
+/// Index type used for simulated device addresses (element granularity).
+using Index = std::int64_t;
+
+/// CUDA-style 3-component extent. Components default to 1 so that
+/// `Dim3{gx}` and `Dim3{gx, gy}` behave like the CUDA runtime's dim3.
+struct Dim3 {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+
+  [[nodiscard]] constexpr long long count() const {
+    return static_cast<long long>(x) * y * z;
+  }
+  constexpr bool operator==(const Dim3&) const = default;
+};
+
+/// Identifies one block inside a launch grid; flat index is row-major
+/// (x fastest) like CUDA's blockIdx enumeration order for caching purposes.
+struct BlockId {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  [[nodiscard]] constexpr long long flat(const Dim3& grid) const {
+    return (static_cast<long long>(z) * grid.y + y) * grid.x + x;
+  }
+  constexpr bool operator==(const BlockId&) const = default;
+};
+
+/// Floating-point precision selector used by benchmarks and registries.
+enum class Precision { kFloat32, kFloat64 };
+
+[[nodiscard]] inline const char* to_string(Precision p) {
+  return p == Precision::kFloat32 ? "single" : "double";
+}
+
+/// Border handling for grid loads that fall outside the domain.
+/// The paper's convolution comparisons use NPP's "Replicate" border kernels,
+/// so Clamp is the library default.
+enum class Border { kClamp, kZero };
+
+[[nodiscard]] inline const char* to_string(Border b) {
+  return b == Border::kClamp ? "clamp" : "zero";
+}
+
+/// Integer ceiling division; ubiquitous in blocking geometry.
+[[nodiscard]] constexpr long long ceil_div(long long a, long long b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace ssam

@@ -1,0 +1,119 @@
+// SSAM 2D convolution (paper Section 4.1–4.7, Listing 1).
+//
+// One warp computes a (WarpSize - M + 1) x P output tile:
+//   1. filter weights -> shared memory (cooperative, broadcast-read later);
+//   2. a WarpSize x C register-cache tile is loaded with coalesced reads
+//      (C = P + N - 1, Equation 3);
+//   3. for each sliding-window step i and each filter column m, every lane
+//      computes an N-tap partial sum with MADs against the broadcast filter
+//      column, shuffling the partial sum one lane to the right between
+//      columns (Figure 2);
+//   4. lanes M-1..31 hold finished outputs and store them coalesced.
+// Borders replicate (NPP FilterBorder semantics).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "core/kernel_common.hpp"
+#include "rcache/blocking.hpp"
+#include "rcache/register_cache.hpp"
+
+namespace ssam::core {
+
+/// Tunables of the SSAM convolution kernel. Paper defaults: P=4, B=128.
+struct ConvOptions {
+  int p = 4;              ///< sliding-window outputs per thread
+  int block_threads = 128;
+};
+
+/// Registers/thread the kernel needs (drives simulated occupancy): the
+/// register cache (C), the P accumulators, and bookkeeping.
+[[nodiscard]] inline int conv2d_ssam_regs(int filter_n, int p) {
+  return (p + filter_n - 1) + p + 12;
+}
+
+/// Launches the SSAM convolution of `in` (W x H) with an M x N filter
+/// stored row-major (w[n*M + m]). Functional mode fills `out` completely;
+/// timing mode executes a sampled subset of blocks (outputs of unsampled
+/// blocks are left untouched) and returns extrapolated statistics.
+template <typename T>
+KernelStats conv2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                        std::span<const T> weights, int filter_m, int filter_n,
+                        GridView2D<T> out, const ConvOptions& opt = {},
+                        ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  SSAM_REQUIRE(filter_m >= 1 && filter_n >= 1, "filter extents must be positive");
+  SSAM_REQUIRE(filter_m <= sim::kWarpSize, "filter wider than a warp");
+  SSAM_REQUIRE(static_cast<Index>(weights.size()) ==
+                   static_cast<Index>(filter_m) * filter_n,
+               "weight count mismatch");
+  const int m = filter_m;
+  const int n = filter_n;
+  const int cx = (m - 1) / 2;
+  const int cy = (n - 1) / 2;
+  const Index width = in.width();
+  const Index height = in.height();
+
+  Blocking2D geom;
+  geom.span = m - 1;
+  geom.dx_min = -cx;
+  geom.rows_halo = n - 1;
+  geom.p = opt.p;
+  geom.block_threads = opt.block_threads;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = geom.grid(width, height);
+  cfg.block_threads = opt.block_threads;
+  cfg.regs_per_thread = conv2d_ssam_regs(n, opt.p);
+
+  const T* wgt = weights.data();
+  auto body = [&, m, n, cx, cy, width, height, geom, wgt](BlockContext& blk) {
+    // Step 1 (Listing 1 lines 9-12): weights to shared memory.
+    Smem<T> smem = blk.alloc_smem<T>(m * n);
+    cooperative_load_to_smem(blk, wgt, smem, m * n);
+
+    for (int w = 0; w < blk.warp_count(); ++w) {
+      WarpContext& wc = blk.warp(w);
+      const long long warp_linear =
+          static_cast<long long>(blk.id().x) * geom.warps_per_block() + w;
+      const Index col0 = geom.lane0_col(warp_linear);
+      if (col0 - geom.dx_min >= width) continue;  // fully out of range warp
+      const Index row0 = geom.top_row(blk.id().y, cy);
+
+      // Step 2 (lines 13-14): register cache fill.
+      RegisterCache<T> rc(wc, geom.c());
+      rc.load_rows(in, col0, row0);
+
+      // Step 3 (lines 16-29): sliding window of P partial-sum sweeps.
+      std::vector<Reg<T>> result(static_cast<std::size_t>(geom.p));
+      for (int i = 0; i < geom.p; ++i) {
+        Reg<T> sum = wc.uniform(T{});
+        for (int fm = 0; fm < m; ++fm) {
+          if (fm > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
+          for (int fn = 0; fn < n; ++fn) {
+            const Reg<T> wt = wc.load_shared_broadcast(smem, fn * m + fm);
+            sum = wc.mad(rc.row(i + fn), wt, sum);
+          }
+        }
+        result[static_cast<std::size_t>(i)] = sum;
+      }
+
+      // Step 4 (lines 30-31): lanes >= M-1 store valid outputs.
+      const Reg<Index> out_x =
+          wc.affine(wc.iota<Index>(0, 1), 1, col0 - (m - 1) + cx);
+      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), m - 1),
+                            wc.cmp_lt(out_x, width));
+      for (int i = 0; i < geom.p; ++i) {
+        const Index oy = static_cast<Index>(blk.id().y) * geom.p + i;
+        if (oy >= height) break;
+        const Reg<Index> oidx = wc.affine(out_x, 1, oy * out.pitch());
+        wc.store_global(out.data(), oidx, result[static_cast<std::size_t>(i)], &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+}  // namespace ssam::core

@@ -1,0 +1,105 @@
+// GEMM on SSAM — the compute-bound extension the paper sketches in
+// Section 3.3 ("SSAM, in general, is not limited to memory-bound kernels and
+// could be extended to compute bound kernels, such as GEMM").
+//
+// Mapping: a warp owns a 32-wide column strip of C and P rows at a time
+// (register-cached accumulators = X/Y). The dependency graph D is the
+// operand *broadcast* chain: a coalesced load pulls 32 consecutive A values
+// into the warp once per 32 k-steps, and each step broadcasts one of them to
+// all lanes with a shuffle — the same register-to-register systolic motion,
+// with ctrl() selecting the source PE. B rows stream coalesced per k.
+#pragma once
+
+#include <vector>
+
+#include "core/kernel_common.hpp"
+
+namespace ssam::core {
+
+struct GemmOptions {
+  int p = 4;  ///< rows of C per warp iteration (register accumulators)
+};
+
+[[nodiscard]] inline int gemm_ssam_regs(int p) { return p + 18; }
+
+/// C(MxN) = A(MxK) * B(KxN), row-major, all dense.
+template <typename T>
+KernelStats gemm_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& a,
+                      const GridView2D<const T>& b, GridView2D<T> c,
+                      const GemmOptions& opt = {}, ExecMode mode = ExecMode::kFunctional,
+                      SampleSpec sample = {}) {
+  const Index m = a.height();
+  const Index k = a.width();
+  const Index n = b.width();
+  SSAM_REQUIRE(b.height() == k && c.width() == n && c.height() == m,
+               "gemm extent mismatch");
+  constexpr int kBlockThreads = 128;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const int p = opt.p;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(n, sim::kWarpSize)),
+                  static_cast<int>(ceil_div(m, static_cast<long long>(warps) * p)), 1};
+  cfg.block_threads = kBlockThreads;
+  cfg.regs_per_thread = gemm_ssam_regs(p);
+
+  auto body = [&, m, k, n, warps, p](BlockContext& blk) {
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index j0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;  // C columns
+      const Index i0 = (static_cast<Index>(blk.id().y) * warps + w) * p;  // C rows
+      if (j0 >= n || i0 >= m) continue;
+      Pred col_ok = wc.cmp_lt(wc.iota<Index>(j0, 1), n);
+
+      std::vector<Reg<T>> acc(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) acc[static_cast<std::size_t>(r)] = wc.uniform(T{});
+
+      for (Index kk = 0; kk < k; kk += sim::kWarpSize) {
+        const int steps = static_cast<int>(std::min<Index>(sim::kWarpSize, k - kk));
+        // One coalesced A load per row of the register tile per 32 k-steps.
+        std::vector<Reg<T>> a_vec(static_cast<std::size_t>(p));
+        Pred k_ok = wc.cmp_lt(wc.iota<Index>(kk, 1), k);
+        for (int r = 0; r < p; ++r) {
+          const Index row = std::min<Index>(i0 + r, m - 1);
+          a_vec[static_cast<std::size_t>(r)] =
+              wc.load_global(a.data(), wc.iota<Index>(row * a.pitch() + kk, 1), &k_ok);
+        }
+        for (int s = 0; s < steps; ++s) {
+          // B(kk+s, j0 + lane): coalesced stream of one B row segment.
+          const Reg<T> b_row = wc.load_global(
+              b.data(), wc.iota<Index>((kk + s) * b.pitch() + j0, 1), &col_ok);
+          for (int r = 0; r < p; ++r) {
+            // Systolic broadcast: lane s's cached A value to all lanes.
+            const Reg<T> a_bc =
+                wc.shfl_idx(sim::kFullMask, a_vec[static_cast<std::size_t>(r)], s);
+            acc[static_cast<std::size_t>(r)] =
+                wc.mad(b_row, a_bc, acc[static_cast<std::size_t>(r)]);
+          }
+        }
+      }
+      for (int r = 0; r < p; ++r) {
+        const Index row = i0 + r;
+        if (row >= m) break;
+        wc.store_global(c.data(), wc.iota<Index>(row * c.pitch() + j0, 1),
+                        acc[static_cast<std::size_t>(r)], &col_ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+/// Scalar reference for tests.
+template <typename T>
+void gemm_reference(const GridView2D<const T>& a, const GridView2D<const T>& b,
+                    GridView2D<T> c) {
+  for (Index i = 0; i < c.height(); ++i) {
+    for (Index j = 0; j < c.width(); ++j) {
+      T acc{};
+      for (Index kk = 0; kk < a.width(); ++kk) acc += a.at(kk, i) * b.at(j, kk);
+      c.at(j, i) = acc;
+    }
+  }
+}
+
+}  // namespace ssam::core

@@ -1,0 +1,59 @@
+// Iterative stencil driver (double-buffered time stepping).
+#pragma once
+
+#include "core/stencil2d.hpp"
+#include "core/stencil3d.hpp"
+
+namespace ssam::core {
+
+/// Result of an iterative run: per-step stats (uniform across steps for the
+/// non-temporally-blocked kernels) and the step count.
+struct IterationStats {
+  KernelStats per_step;
+  int steps = 0;
+};
+
+/// Runs `steps` SSAM stencil sweeps A->B, swapping buffers; the final state
+/// ends in `a`. In timing mode only the first step is timed (steps are
+/// identical for out-of-place sweeps).
+template <typename T>
+IterationStats iterate_stencil2d(const sim::ArchSpec& arch, Grid2D<T>& a, Grid2D<T>& b,
+                                 const StencilShape<T>& shape, int steps,
+                                 const StencilOptions& opt = {},
+                                 ExecMode mode = ExecMode::kFunctional,
+                                 SampleSpec sample = {}) {
+  IterationStats r;
+  r.steps = steps;
+  const SystolicPlan<T> plan = build_plan(shape.taps);
+  if (mode == ExecMode::kTiming) {
+    r.per_step = stencil2d_ssam<T>(arch, a.cview(), plan, b.view(), opt, mode, sample);
+    return r;
+  }
+  for (int s = 0; s < steps; ++s) {
+    r.per_step = stencil2d_ssam<T>(arch, a.cview(), plan, b.view(), opt, mode, sample);
+    std::swap(a, b);
+  }
+  return r;
+}
+
+template <typename T>
+IterationStats iterate_stencil3d(const sim::ArchSpec& arch, Grid3D<T>& a, Grid3D<T>& b,
+                                 const StencilShape<T>& shape, int steps,
+                                 const Stencil3DOptions& opt = {},
+                                 ExecMode mode = ExecMode::kFunctional,
+                                 SampleSpec sample = {}) {
+  IterationStats r;
+  r.steps = steps;
+  const SystolicPlan<T> plan = build_plan(shape.taps);
+  if (mode == ExecMode::kTiming) {
+    r.per_step = stencil3d_ssam<T>(arch, a.cview(), plan, b.view(), opt, mode, sample);
+    return r;
+  }
+  for (int s = 0; s < steps; ++s) {
+    r.per_step = stencil3d_ssam<T>(arch, a.cview(), plan, b.view(), opt, mode, sample);
+    std::swap(a, b);
+  }
+  return r;
+}
+
+}  // namespace ssam::core

@@ -1,0 +1,63 @@
+// Shared device-code helpers for SSAM kernels and baselines.
+#pragma once
+
+#include <span>
+
+#include "common/grid.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/timing.hpp"
+
+namespace ssam::core {
+
+using sim::BlockContext;
+using sim::ExecMode;
+using sim::KernelStats;
+using sim::Pred;
+using sim::Reg;
+using sim::SampleSpec;
+using sim::Smem;
+using sim::WarpContext;
+
+/// Cooperatively copies `n` elements from global memory into a shared array,
+/// block-striped exactly like Listing 1 lines 9–12 (thread t copies elements
+/// t, t+B, t+2B, ...).
+template <typename T>
+void cooperative_load_to_smem(BlockContext& blk, const T* src, const Smem<T>& dst, int n) {
+  const int threads = blk.warp_count() * sim::kWarpSize;
+  for (int w = 0; w < blk.warp_count(); ++w) {
+    WarpContext& wc = blk.warp(w);
+    for (int base = w * sim::kWarpSize; base < n; base += threads) {
+      const Reg<Index> gidx = wc.iota<Index>(base, 1);
+      const Reg<int> sidx = wc.iota<int>(base, 1);
+      if (base + sim::kWarpSize <= n) {
+        const Reg<T> v = wc.load_global(src, gidx);
+        wc.store_shared(dst, sidx, v);
+      } else {
+        Pred active = wc.cmp_lt(wc.iota<int>(base, 1), n);
+        const Reg<T> v = wc.load_global(src, gidx, &active);
+        wc.store_shared(dst, sidx, v, &active);
+      }
+    }
+  }
+  blk.sync();
+}
+
+/// Result bundle benches use: sampled statistics plus the runtime estimate.
+struct RunResult {
+  KernelStats stats;
+  sim::RuntimeEstimate estimate;
+
+  [[nodiscard]] double ms() const { return estimate.total_ms; }
+};
+
+/// Runs a kernel in timing mode and estimates its runtime.
+template <typename Launcher>
+RunResult time_kernel(const sim::ArchSpec& arch, Launcher&& launcher,
+                      SampleSpec sample = {}) {
+  RunResult r;
+  r.stats = launcher(ExecMode::kTiming, sample);
+  r.estimate = sim::estimate_runtime(arch, r.stats);
+  return r;
+}
+
+}  // namespace ssam::core

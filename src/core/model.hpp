@@ -1,0 +1,42 @@
+// The SSAM formulation (paper Section 3): J = (O, D, X, Y).
+//
+//   O — computing operations: the (⊗, ⊕) pair of Equation 1 plus the ctrl()
+//       gate. All kernels in this library use ⊗ = multiply, ⊕ = add with
+//       ctrl ≡ identity (convolution/stencil) or a lane-threshold gate
+//       (Kogge–Stone scan).
+//   D — dependencies: the shift schedule; see dgraph.hpp (SystolicPlan).
+//   X/Y — input/output variables: register-cache tiles; see
+//       rcache/register_cache.hpp and rcache/blocking.hpp.
+//
+// This header carries the descriptor that ties the four components together
+// for introspection, documentation, and the ablation benches.
+#pragma once
+
+#include <string>
+
+#include "core/dgraph.hpp"
+#include "rcache/blocking.hpp"
+
+namespace ssam::core {
+
+/// How the ctrl() gate of Equation 1 behaves for an algorithm.
+enum class CtrlKind {
+  kIdentity,      ///< ctrl(E) = E everywhere (convolution, stencils)
+  kLaneThreshold  ///< ctrl(E) = E iff lane >= distance (Kogge–Stone scan)
+};
+
+/// Descriptor of an algorithm expressed in SSAM. Purely informational: the
+/// kernels consume the plan and blocking directly, but benches and docs
+/// report these fields.
+template <typename T>
+struct AlgorithmModel {
+  std::string name;
+  CtrlKind ctrl = CtrlKind::kIdentity;
+  SystolicPlan<T> plan;   ///< D
+  Blocking2D blocking;    ///< X/Y geometry (2D kernels)
+
+  [[nodiscard]] int register_cache_size() const { return blocking.c(); }
+  [[nodiscard]] int shuffles_per_window_step() const { return plan.horizontal_shifts(); }
+};
+
+}  // namespace ssam::core

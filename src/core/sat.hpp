@@ -1,0 +1,83 @@
+// Summed Area Table in SSAM (paper Section 3.6; Chen et al. [8]).
+//
+// Two passes over the grid:
+//   1. row pass — one warp per row marches in 32-wide chunks; each chunk is
+//      Kogge–Stone-scanned in registers and a running carry (lane 31's
+//      total) is broadcast into the next chunk: the 1D systolic schedule.
+//   2. column pass — one thread per column accumulates serially downwards;
+//      warp lanes cover adjacent columns so every load/store is coalesced.
+#pragma once
+
+#include <vector>
+
+#include "core/scan.hpp"
+
+namespace ssam::core {
+
+/// Computes the inclusive SAT of `in` into `out` (may not alias).
+/// Returns stats of the two launched kernels.
+template <typename T>
+std::vector<KernelStats> summed_area_table(const sim::ArchSpec& arch,
+                                           const GridView2D<const T>& in, GridView2D<T> out,
+                                           ExecMode mode = ExecMode::kFunctional,
+                                           SampleSpec sample = {}) {
+  SSAM_REQUIRE(in.width() == out.width() && in.height() == out.height(), "sat extents");
+  const Index width = in.width();
+  const Index height = in.height();
+  std::vector<KernelStats> all;
+
+  // Pass 1: row scans; block of 4 warps handles 4 rows.
+  {
+    sim::LaunchConfig cfg;
+    cfg.block_threads = 128;
+    const int warps = cfg.block_threads / sim::kWarpSize;
+    cfg.grid = Dim3{static_cast<int>(ceil_div(height, warps)), 1, 1};
+    cfg.regs_per_thread = 20;
+    auto body = [&, width, height, warps](BlockContext& blk) {
+      for (int w = 0; w < blk.warp_count(); ++w) {
+        WarpContext& wc = blk.warp(w);
+        const Index y = static_cast<Index>(blk.id().x) * warps + w;
+        if (y >= height) continue;
+        Reg<T> carry = wc.uniform(T{});
+        for (Index x0 = 0; x0 < width; x0 += sim::kWarpSize) {
+          const Reg<Index> idx = wc.iota<Index>(y * in.pitch() + x0, 1);
+          Pred active = wc.cmp_lt(wc.iota<Index>(x0, 1), width);
+          Reg<T> v = wc.load_global(in.data(), idx, &active);
+          v = warp_inclusive_scan(wc, v);
+          v = wc.add(v, carry);
+          carry = wc.shfl_idx(sim::kFullMask, v, sim::kWarpSize - 1);
+          const Reg<Index> oidx = wc.iota<Index>(y * out.pitch() + x0, 1);
+          wc.store_global(out.data(), oidx, v, &active);
+        }
+      }
+    };
+    all.push_back(sim::launch(arch, cfg, body, mode, sample));
+  }
+
+  // Pass 2: column accumulation, 128 adjacent columns per block.
+  {
+    sim::LaunchConfig cfg;
+    cfg.block_threads = 128;
+    cfg.grid = Dim3{static_cast<int>(ceil_div(width, cfg.block_threads)), 1, 1};
+    cfg.regs_per_thread = 16;
+    auto body = [&, width, height](BlockContext& blk) {
+      for (int w = 0; w < blk.warp_count(); ++w) {
+        WarpContext& wc = blk.warp(w);
+        const Index x0 = static_cast<Index>(blk.id().x) * 128 + static_cast<Index>(w) * 32;
+        if (x0 >= width) continue;
+        Pred active = wc.cmp_lt(wc.iota<Index>(x0, 1), width);
+        Reg<T> acc = wc.uniform(T{});
+        for (Index y = 0; y < height; ++y) {
+          const Reg<Index> idx = wc.iota<Index>(y * out.pitch() + x0, 1);
+          Reg<T> v = wc.load_global(out.data(), idx, &active);
+          acc = wc.add(acc, v);
+          wc.store_global(out.data(), idx, acc, &active);
+        }
+      }
+    };
+    all.push_back(sim::launch(arch, cfg, body, mode, sample));
+  }
+  return all;
+}
+
+}  // namespace ssam::core

@@ -1,0 +1,107 @@
+// SSAM 2D stencil kernel (paper Section 4.8, Listing 2), generalized to any
+// stencil shape through the SystolicPlan column schedule.
+//
+// Unlike the convolution kernel, stencil coefficients travel as kernel
+// arguments (immediates), not through shared memory — stencils have few
+// coefficients (Section 4.8). Structure per sliding-window step:
+//   for each column (increasing dx): shuffle partial sum up one lane, then
+//   MAD every (dy, coeff) tap of the column against the register cache.
+#pragma once
+
+#include <vector>
+
+#include "common/grid.hpp"
+#include "core/dgraph.hpp"
+#include "core/kernel_common.hpp"
+#include "core/stencil_shape.hpp"
+#include "rcache/blocking.hpp"
+#include "rcache/register_cache.hpp"
+
+namespace ssam::core {
+
+struct StencilOptions {
+  int p = 4;
+  int block_threads = 128;
+};
+
+[[nodiscard]] inline int stencil2d_ssam_regs(const int rows_halo, int p) {
+  return (p + rows_halo) + p + 10;
+}
+
+/// Runs one stencil sweep over `in` into `out` using the plan's shift
+/// schedule. The plan must be 2D (single dz = 0 pass).
+template <typename T>
+KernelStats stencil2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                           const SystolicPlan<T>& plan, GridView2D<T> out,
+                           const StencilOptions& opt = {},
+                           ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  SSAM_REQUIRE(plan.passes.size() == 1 && plan.passes.front().dz == 0,
+               "stencil2d_ssam needs a single-plane plan");
+  const ColumnPass<T>& pass = plan.passes.front();
+  const Index width = in.width();
+  const Index height = in.height();
+
+  Blocking2D geom;
+  geom.span = plan.span();
+  geom.dx_min = plan.dx_min;
+  geom.rows_halo = plan.rows_halo();
+  geom.p = opt.p;
+  geom.block_threads = opt.block_threads;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = geom.grid(width, height);
+  cfg.block_threads = opt.block_threads;
+  cfg.regs_per_thread = stencil2d_ssam_regs(geom.rows_halo, opt.p);
+
+  const int dy_min = plan.dy_min;
+  const int anchor = plan.anchor_dx;
+
+  auto body = [&, geom, dy_min, anchor, width, height](BlockContext& blk) {
+    for (int w = 0; w < blk.warp_count(); ++w) {
+      WarpContext& wc = blk.warp(w);
+      const long long warp_linear =
+          static_cast<long long>(blk.id().x) * geom.warps_per_block() + w;
+      const Index col0 = geom.lane0_col(warp_linear);
+      if (col0 - geom.dx_min >= width) continue;
+      const Index row0 = static_cast<Index>(blk.id().y) * geom.p + dy_min;
+
+      RegisterCache<T> rc(wc, geom.c());
+      rc.load_rows(in, col0, row0);
+
+      std::vector<Reg<T>> result(static_cast<std::size_t>(geom.p));
+      for (int i = 0; i < geom.p; ++i) {
+        Reg<T> sum = wc.uniform(T{});
+        for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
+          if (ci > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
+          for (const ColumnTap<T>& tap : pass.columns[ci]) {
+            sum = wc.mad(rc.row(i + tap.dy - dy_min), tap.coeff, sum);
+          }
+        }
+        result[static_cast<std::size_t>(i)] = sum;
+      }
+
+      const Reg<Index> out_x = wc.affine(wc.iota<Index>(0, 1), 1, col0 - anchor);
+      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span),
+                            wc.cmp_lt(out_x, width));
+      for (int i = 0; i < geom.p; ++i) {
+        const Index oy = static_cast<Index>(blk.id().y) * geom.p + i;
+        if (oy >= height) break;
+        const Reg<Index> oidx = wc.affine(out_x, 1, oy * out.pitch());
+        wc.store_global(out.data(), oidx, result[static_cast<std::size_t>(i)], &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+/// Convenience overload building the minimal plan from a shape.
+template <typename T>
+KernelStats stencil2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                           const StencilShape<T>& shape, GridView2D<T> out,
+                           const StencilOptions& opt = {},
+                           ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  return stencil2d_ssam(arch, in, build_plan(shape.taps), out, opt, mode, sample);
+}
+
+}  // namespace ssam::core

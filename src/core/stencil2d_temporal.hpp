@@ -1,0 +1,128 @@
+// SSAM temporal blocking (paper Section 6.4): t fused time steps entirely in
+// the register cache.
+//
+// The register cache is loaded once with C0 = P + t*(dy span) rows; each
+// fused step applies the systolic column sweep to every live row, producing
+// the next level's rows in registers. Horizontal halo is paid in lanes
+// (t * span lanes become invalid) and vertical halo in rows — no shared
+// memory and no barriers at all, which is what makes temporal blocking "free"
+// under SSAM (the paper's point in Section 6.4).
+//
+// Border cells within t*r of the domain edge follow the ghost-zone
+// approximation (replicate applied at load time only), as in every
+// overlapped temporal blocking scheme.
+#pragma once
+
+#include <vector>
+
+#include "core/stencil2d.hpp"
+
+namespace ssam::core {
+
+struct TemporalSsamOptions {
+  int t = 4;
+  int p = 4;
+  int block_threads = 128;
+};
+
+[[nodiscard]] inline int stencil2d_ssam_temporal_regs(int rows_halo, int t, int p) {
+  const int c0 = p + t * rows_halo;
+  return 2 * c0 + 12;  // two live levels during the in-register relaxation
+}
+
+template <typename T>
+KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
+                                    const GridView2D<const T>& in,
+                                    const SystolicPlan<T>& plan, GridView2D<T> out,
+                                    const TemporalSsamOptions& opt = {},
+                                    ExecMode mode = ExecMode::kFunctional,
+                                    SampleSpec sample = {}) {
+  SSAM_REQUIRE(plan.passes.size() == 1 && plan.passes.front().dz == 0,
+               "temporal SSAM kernel is 2D");
+  const ColumnPass<T>& pass = plan.passes.front();
+  const int t = opt.t;
+  const int span = plan.span();
+  const int dy_span = plan.rows_halo();
+  SSAM_REQUIRE(t >= 1, "need at least one step");
+  SSAM_REQUIRE(sim::kWarpSize - t * span >= 8, "too many fused steps for one warp");
+  const Index width = in.width();
+  const Index height = in.height();
+
+  Blocking2D geom;
+  geom.span = t * span;           // lanes consumed by t fused sweeps
+  geom.dx_min = t * plan.dx_min;  // leftmost input column offset
+  geom.rows_halo = t * dy_span;
+  geom.p = opt.p;
+  geom.block_threads = opt.block_threads;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = geom.grid(width, height);
+  cfg.block_threads = opt.block_threads;
+  cfg.regs_per_thread = stencil2d_ssam_temporal_regs(dy_span, t, opt.p);
+
+  const int dy_min = plan.dy_min;
+  const int anchor = plan.anchor_dx;
+
+  auto body = [&, geom, dy_min, anchor, width, height, t, dy_span](BlockContext& blk) {
+    for (int w = 0; w < blk.warp_count(); ++w) {
+      WarpContext& wc = blk.warp(w);
+      const long long warp_linear =
+          static_cast<long long>(blk.id().x) * geom.warps_per_block() + w;
+      const Index col0 = geom.lane0_col(warp_linear);
+      if (col0 - geom.dx_min >= width) continue;
+      // base_t = oy0 + t*dy_min  =>  base_0 = oy0 + t*dy_min.
+      const Index row0 = static_cast<Index>(blk.id().y) * geom.p +
+                         static_cast<Index>(t) * dy_min;
+
+      RegisterCache<T> rc(wc, geom.c());
+      rc.load_rows(in, col0, row0);
+
+      // Level 0 = cached input rows.
+      std::vector<Reg<T>> level(static_cast<std::size_t>(geom.c()));
+      for (int r = 0; r < geom.c(); ++r) level[static_cast<std::size_t>(r)] = rc.row(r);
+
+      for (int s = 0; s < t; ++s) {
+        const int next_rows = static_cast<int>(level.size()) - dy_span;
+        std::vector<Reg<T>> next(static_cast<std::size_t>(next_rows));
+        for (int r = 0; r < next_rows; ++r) {
+          Reg<T> sum = wc.uniform(T{});
+          for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
+            if (ci > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
+            for (const ColumnTap<T>& tap : pass.columns[ci]) {
+              sum = wc.mad(level[static_cast<std::size_t>(r + tap.dy - dy_min)],
+                           tap.coeff, sum);
+            }
+          }
+          next[static_cast<std::size_t>(r)] = sum;
+        }
+        level = std::move(next);
+      }
+
+      // After t sweeps lane l's value sits at out_x = col(l) - t*anchor.
+      const Reg<Index> out_x =
+          wc.affine(wc.iota<Index>(0, 1), 1, col0 - static_cast<Index>(t) * anchor);
+      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span),
+                            wc.cmp_lt(out_x, width));
+      for (int i = 0; i < geom.p; ++i) {
+        const Index oy = static_cast<Index>(blk.id().y) * geom.p + i;
+        if (oy >= height) break;
+        const Reg<Index> oidx = wc.affine(out_x, 1, oy * out.pitch());
+        wc.store_global(out.data(), oidx, level[static_cast<std::size_t>(i)], &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+template <typename T>
+KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
+                                    const GridView2D<const T>& in,
+                                    const StencilShape<T>& shape, GridView2D<T> out,
+                                    const TemporalSsamOptions& opt = {},
+                                    ExecMode mode = ExecMode::kFunctional,
+                                    SampleSpec sample = {}) {
+  return stencil2d_ssam_temporal(arch, in, build_plan(shape.taps), out, opt, mode, sample);
+}
+
+}  // namespace ssam::core

@@ -1,0 +1,175 @@
+// SSAM 3D stencil kernel (paper Section 4.9).
+//
+// A block of WZ warps covers WZ consecutive z-planes of a 3D sub-grid with
+// overlapped blocking in z: the outer rz warps on each side are halo warps.
+// Every warp caches its plane's rows in registers, runs one systolic column
+// sweep per z-offset group of the plan, keeps the dz = 0 partial sums in
+// registers, and publishes the dz != 0 partial sums to shared memory — the
+// only inter-warp communication (shuffles stay intra-warp, as the paper
+// requires). After __syncthreads, interior warps combine their own dz = 0
+// sums with neighbours' published sums and store.
+#pragma once
+
+#include <vector>
+
+#include "common/grid.hpp"
+#include "core/dgraph.hpp"
+#include "core/kernel_common.hpp"
+#include "core/stencil_shape.hpp"
+#include "rcache/blocking.hpp"
+#include "rcache/register_cache.hpp"
+
+namespace ssam::core {
+
+struct Stencil3DOptions {
+  int p = 2;      ///< sliding-window outputs per thread (rows)
+  int warps = 8;  ///< planes per block
+};
+
+[[nodiscard]] inline int stencil3d_ssam_regs(int rows_halo, int p, int passes) {
+  return (p + rows_halo) + p * passes + 12;
+}
+
+template <typename T>
+KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>& in,
+                           const SystolicPlan<T>& plan, GridView3D<T> out,
+                           const Stencil3DOptions& opt = {},
+                           ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  const int rz = plan.rz();
+  SSAM_REQUIRE(opt.warps > 2 * rz, "need more warps than z halo planes");
+  const Index nx = in.nx();
+  const Index ny = in.ny();
+  const Index nz = in.nz();
+
+  Blocking2D geom;  // in-plane geometry, anchored at the global dx extremes
+  geom.span = plan.span();
+  geom.dx_min = plan.dx_min;
+  geom.rows_halo = plan.rows_halo();
+  geom.p = opt.p;
+  geom.block_threads = opt.warps * sim::kWarpSize;
+
+  Blocking3D geom3;
+  geom3.plane = geom;
+  geom3.rz = rz;
+  geom3.warps = opt.warps;
+
+  // Off-plane passes (dz != 0) publish P rows of 32 lanes each to smem.
+  std::vector<const ColumnPass<T>*> off_passes;
+  const ColumnPass<T>* center_pass = nullptr;
+  for (const auto& p : plan.passes) {
+    if (p.dz == 0) {
+      center_pass = &p;
+    } else {
+      off_passes.push_back(&p);
+    }
+  }
+  const int n_off = static_cast<int>(off_passes.size());
+
+  sim::LaunchConfig cfg;
+  cfg.grid = geom3.grid(nx, ny, nz);
+  cfg.block_threads = geom3.block_threads();
+  cfg.regs_per_thread =
+      stencil3d_ssam_regs(geom.rows_halo, opt.p, static_cast<int>(plan.passes.size()));
+
+  const int dy_min = plan.dy_min;
+  const int anchor = plan.anchor_dx;
+  const int vp = geom3.valid_planes();
+
+  auto body = [&, geom, geom3, dy_min, anchor, nx, ny, nz, vp, n_off](BlockContext& blk) {
+    const int warps = geom3.warps;
+    const int p = geom.p;
+    const int smem_elems = warps * std::max(1, n_off) * p * sim::kWarpSize;
+    Smem<T> published = blk.alloc_smem<T>(smem_elems);
+    auto smem_base = [&](int warp, int slot, int i) {
+      return ((warp * std::max(1, n_off) + slot) * p + i) * sim::kWarpSize;
+    };
+
+    const Index col0 = geom.lane0_col(blk.id().x);  // one warp stripe per block in x
+    const Index row0 = static_cast<Index>(blk.id().y) * p + dy_min;
+    const Index z_first = static_cast<Index>(blk.id().z) * vp - geom3.rz;
+
+    // Per-warp dz=0 partial sums kept across the barrier.
+    std::vector<std::vector<Reg<T>>> center_sum(
+        static_cast<std::size_t>(warps), std::vector<Reg<T>>(static_cast<std::size_t>(p)));
+
+    // Phase 1: every warp computes all passes for its plane.
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      Index pz = z_first + w;
+      pz = pz < 0 ? 0 : (pz >= nz ? nz - 1 : pz);  // replicate border in z
+      const GridView2D<const T> plane = in.slice(pz);
+
+      RegisterCache<T> rc(wc, geom.c());
+      rc.load_rows(plane, col0, row0);
+
+      for (int i = 0; i < p; ++i) {
+        // dz = 0 pass stays in registers.
+        Reg<T> s0 = wc.uniform(T{});
+        if (center_pass != nullptr) {
+          for (std::size_t ci = 0; ci < center_pass->columns.size(); ++ci) {
+            if (ci > 0) s0 = wc.shfl_up(sim::kFullMask, s0, 1);
+            for (const ColumnTap<T>& tap : center_pass->columns[ci]) {
+              s0 = wc.mad(rc.row(i + tap.dy - dy_min), tap.coeff, s0);
+            }
+          }
+        }
+        center_sum[static_cast<std::size_t>(w)][static_cast<std::size_t>(i)] = s0;
+
+        // dz != 0 passes go to shared memory.
+        for (int s = 0; s < n_off; ++s) {
+          const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(s)];
+          Reg<T> sum = wc.uniform(T{});
+          for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
+            if (ci > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
+            for (const ColumnTap<T>& tap : pass.columns[ci]) {
+              sum = wc.mad(rc.row(i + tap.dy - dy_min), tap.coeff, sum);
+            }
+          }
+          const Reg<int> sidx = wc.iota<int>(smem_base(w, s, i), 1);
+          wc.store_shared(published, sidx, sum);
+        }
+      }
+    }
+    blk.sync();
+
+    // Phase 2: interior warps accumulate neighbours' contributions and store.
+    for (int w = geom3.rz; w < warps - geom3.rz; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index pz = z_first + w;
+      if (pz < 0 || pz >= nz) continue;
+
+      const Reg<Index> out_x = wc.affine(wc.iota<Index>(0, 1), 1, col0 - anchor);
+      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span), wc.cmp_lt(out_x, nx));
+      for (int i = 0; i < p; ++i) {
+        const Index oy = static_cast<Index>(blk.id().y) * p + i;
+        if (oy >= ny) break;
+        Reg<T> sum = center_sum[static_cast<std::size_t>(w)][static_cast<std::size_t>(i)];
+        for (int s = 0; s < n_off; ++s) {
+          const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(s)];
+          const int producer = w + pass.dz;  // S_dz(z + dz) lives there
+          const int deficit = anchor - pass.dx_max;
+          Reg<int> sidx =
+              wc.add(wc.lane_id(), smem_base(producer, s, i) - deficit);
+          sidx = wc.clamp(sidx, smem_base(producer, s, i),
+                          smem_base(producer, s, i) + sim::kWarpSize - 1);
+          const Reg<T> v = wc.load_shared(published, sidx);
+          sum = wc.add(sum, v);
+        }
+        const Reg<Index> oidx = wc.affine(out_x, 1, (pz * ny + oy) * nx);
+        wc.store_global(out.data(), oidx, sum, &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+template <typename T>
+KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>& in,
+                           const StencilShape<T>& shape, GridView3D<T> out,
+                           const Stencil3DOptions& opt = {},
+                           ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  return stencil3d_ssam(arch, in, build_plan(shape.taps), out, opt, mode, sample);
+}
+
+}  // namespace ssam::core

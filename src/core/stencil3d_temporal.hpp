@@ -1,0 +1,209 @@
+// SSAM 3D temporal blocking: t fused time steps with partial sums living in
+// registers, using shared memory only for the per-step inter-warp z
+// exchange (the same communication split as the single-step 3D kernel of
+// Section 4.9).
+//
+// A block of WZ warps holds WZ consecutive z-planes in register caches.
+// Each fused step:
+//   1. every still-valid warp runs one systolic column sweep per z-offset
+//      group over its current register rows, publishing the dz != 0 partial
+//      sums to shared memory;
+//   2. after the barrier, warps that still have valid z neighbours combine
+//      their dz = 0 sums with neighbours' published sums, producing the next
+//      level's register rows.
+// Validity shrinks every step: rz planes per side (z), `span` lanes (x),
+// dy-span rows (y) — the 3D generalization of the 2D ghost-zone scheme.
+#pragma once
+
+#include <vector>
+
+#include "core/stencil3d.hpp"
+
+namespace ssam::core {
+
+struct Temporal3DOptions {
+  int t = 2;
+  int p = 2;
+  int warps = 8;  ///< planes per block; must exceed 2*t*rz
+};
+
+[[nodiscard]] inline int stencil3d_ssam_temporal_regs(int rows_halo, int t, int p,
+                                                      int passes) {
+  const int c0 = p + t * rows_halo;
+  return 2 * c0 + p * passes + 12;
+}
+
+template <typename T>
+KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
+                                    const GridView3D<const T>& in,
+                                    const SystolicPlan<T>& plan, GridView3D<T> out,
+                                    const Temporal3DOptions& opt = {},
+                                    ExecMode mode = ExecMode::kFunctional,
+                                    SampleSpec sample = {}) {
+  const int rz = plan.rz();
+  const int t = opt.t;
+  const int span = plan.span();
+  const int dy_span = plan.rows_halo();
+  SSAM_REQUIRE(t >= 1, "need at least one step");
+  SSAM_REQUIRE(opt.warps > 2 * t * rz, "z block too shallow for t fused steps");
+  SSAM_REQUIRE(sim::kWarpSize - t * span >= 8, "too many fused steps for one warp");
+  const Index nx = in.nx(), ny = in.ny(), nz = in.nz();
+
+  Blocking2D geom;
+  geom.span = t * span;
+  geom.dx_min = t * plan.dx_min;
+  geom.rows_halo = t * dy_span;
+  geom.p = opt.p;
+  geom.block_threads = opt.warps * sim::kWarpSize;
+
+  std::vector<const ColumnPass<T>*> off_passes;
+  const ColumnPass<T>* center_pass = nullptr;
+  for (const auto& pass : plan.passes) {
+    if (pass.dz == 0) {
+      center_pass = &pass;
+    } else {
+      off_passes.push_back(&pass);
+    }
+  }
+  const int n_off = static_cast<int>(off_passes.size());
+  const int vp = opt.warps - 2 * t * rz;  // valid output planes per block
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(nx, geom.valid_cols())),
+                  static_cast<int>(ceil_div(ny, opt.p)),
+                  static_cast<int>(ceil_div(nz, vp))};
+  cfg.block_threads = geom.block_threads;
+  cfg.regs_per_thread = stencil3d_ssam_temporal_regs(
+      dy_span, t, opt.p, static_cast<int>(plan.passes.size()));
+
+  const int dy_min = plan.dy_min;
+  const int anchor = plan.anchor_dx;
+
+  auto body = [&, geom, dy_min, anchor, nx, ny, nz, vp, n_off, rz, t, span,
+               dy_span](BlockContext& blk) {
+    const int warps = blk.warp_count();
+    const int p = geom.p;
+    // Largest published level: rows at level 1 = C0 - dy_span.
+    const int c0 = p + t * dy_span;
+    const int max_rows = std::max(1, c0 - dy_span);
+    Smem<T> published = blk.alloc_smem<T>(warps * std::max(1, n_off) * max_rows *
+                                          sim::kWarpSize);
+    auto smem_base = [&](int warp, int slot, int row) {
+      return ((warp * std::max(1, n_off) + slot) * max_rows + row) * sim::kWarpSize;
+    };
+
+    const Index col0 = geom.lane0_col(blk.id().x);
+    const Index row0 = static_cast<Index>(blk.id().y) * p +
+                       static_cast<Index>(t) * dy_min;
+    const Index z_first = static_cast<Index>(blk.id().z) * vp -
+                          static_cast<Index>(t) * rz;
+
+    // Per-warp register state across barriers: the current level's rows.
+    std::vector<std::vector<Reg<T>>> level(static_cast<std::size_t>(warps));
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      Index pz = z_first + w;
+      pz = pz < 0 ? 0 : (pz >= nz ? nz - 1 : pz);
+      RegisterCache<T> rc(wc, c0);
+      rc.load_rows(in.slice(pz), col0, row0);
+      auto& rows = level[static_cast<std::size_t>(w)];
+      rows.resize(static_cast<std::size_t>(c0));
+      for (int r = 0; r < c0; ++r) rows[static_cast<std::size_t>(r)] = rc.row(r);
+    }
+
+    std::vector<std::vector<Reg<T>>> center_sums(static_cast<std::size_t>(warps));
+    for (int s = 0; s < t; ++s) {
+      const int rows_next = c0 - (s + 1) * dy_span;
+      // Producers this step: warps whose level-s rows are valid.
+      const int w_lo = s * rz;
+      const int w_hi = warps - 1 - s * rz;
+      for (int w = w_lo; w <= w_hi; ++w) {
+        WarpContext& wc = blk.warp(w);
+        const auto& rows = level[static_cast<std::size_t>(w)];
+        auto& csums = center_sums[static_cast<std::size_t>(w)];
+        csums.assign(static_cast<std::size_t>(rows_next), Reg<T>{});
+        for (int r = 0; r < rows_next; ++r) {
+          Reg<T> s0 = wc.uniform(T{});
+          if (center_pass != nullptr) {
+            for (std::size_t ci = 0; ci < center_pass->columns.size(); ++ci) {
+              if (ci > 0) s0 = wc.shfl_up(sim::kFullMask, s0, 1);
+              for (const ColumnTap<T>& tap : center_pass->columns[ci]) {
+                s0 = wc.mad(rows[static_cast<std::size_t>(r + tap.dy - dy_min)],
+                            tap.coeff, s0);
+              }
+            }
+          }
+          csums[static_cast<std::size_t>(r)] = s0;
+          for (int slot = 0; slot < n_off; ++slot) {
+            const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(slot)];
+            Reg<T> sum = wc.uniform(T{});
+            for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
+              if (ci > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
+              for (const ColumnTap<T>& tap : pass.columns[ci]) {
+                sum = wc.mad(rows[static_cast<std::size_t>(r + tap.dy - dy_min)],
+                             tap.coeff, sum);
+              }
+            }
+            wc.store_shared(published, wc.iota<int>(smem_base(w, slot, r), 1), sum);
+          }
+        }
+      }
+      blk.sync();
+
+      // Consumers: warps valid at level s+1 combine neighbours' sums.
+      const int c_lo = (s + 1) * rz;
+      const int c_hi = warps - 1 - (s + 1) * rz;
+      for (int w = c_lo; w <= c_hi; ++w) {
+        WarpContext& wc = blk.warp(w);
+        auto& rows = level[static_cast<std::size_t>(w)];
+        std::vector<Reg<T>> next(static_cast<std::size_t>(rows_next));
+        for (int r = 0; r < rows_next; ++r) {
+          Reg<T> sum = center_sums[static_cast<std::size_t>(w)][static_cast<std::size_t>(r)];
+          for (int slot = 0; slot < n_off; ++slot) {
+            const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(slot)];
+            const int producer = w + pass.dz;
+            const int deficit = anchor - pass.dx_max;
+            Reg<int> sidx = wc.add(wc.lane_id(), smem_base(producer, slot, r) - deficit);
+            sidx = wc.clamp(sidx, smem_base(producer, slot, r),
+                            smem_base(producer, slot, r) + sim::kWarpSize - 1);
+            sum = wc.add(sum, wc.load_shared(published, sidx));
+          }
+          next[static_cast<std::size_t>(r)] = sum;
+        }
+        rows = std::move(next);
+      }
+      if (s + 1 < t) blk.sync();  // published buffer is reused next step
+    }
+
+    // Store: interior warps, P rows each, lanes >= t*span.
+    for (int w = t * rz; w < warps - t * rz; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index pz = z_first + w;
+      if (pz < 0 || pz >= nz) continue;
+      const Reg<Index> out_x =
+          wc.affine(wc.iota<Index>(0, 1), 1, col0 - static_cast<Index>(t) * anchor);
+      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span), wc.cmp_lt(out_x, nx));
+      const auto& rows = level[static_cast<std::size_t>(w)];
+      for (int i = 0; i < p; ++i) {
+        const Index oy = static_cast<Index>(blk.id().y) * p + i;
+        if (oy >= ny) break;
+        const Reg<Index> oidx = wc.affine(out_x, 1, (pz * ny + oy) * nx);
+        wc.store_global(out.data(), oidx, rows[static_cast<std::size_t>(i)], &ok);
+      }
+    }
+  };
+
+  return sim::launch(arch, cfg, body, mode, sample);
+}
+
+template <typename T>
+KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
+                                    const GridView3D<const T>& in,
+                                    const StencilShape<T>& shape, GridView3D<T> out,
+                                    const Temporal3DOptions& opt = {},
+                                    ExecMode mode = ExecMode::kFunctional,
+                                    SampleSpec sample = {}) {
+  return stencil3d_ssam_temporal(arch, in, build_plan(shape.taps), out, opt, mode, sample);
+}
+
+}  // namespace ssam::core

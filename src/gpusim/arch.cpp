@@ -1,0 +1,155 @@
+#include "gpusim/arch.hpp"
+
+#include "common/error.hpp"
+
+namespace ssam::sim {
+
+namespace {
+
+ArchSpec make_p100() {
+  ArchSpec a;
+  a.name = "P100";
+  a.sm_count = 56;
+  a.clock_ghz = 1.480;
+  a.max_warps_per_sm = 64;
+  a.regs_per_sm = 65536;
+  a.smem_per_sm = 64 * 1024;
+  a.smem_per_block = 48 * 1024;
+  a.l1_bytes = 24 * 1024;  // GP100 unified L1/texture
+  a.l1_ways = 4;
+  a.l2_bytes = 4 * 1024 * 1024;
+  a.l2_ways = 16;
+  a.dram_bw_gbps = 732.0;
+  a.sm_issue_width = 2.0;
+  a.issue_efficiency = 0.55;
+  a.fp64_issue_cost = 2.0;
+  a.register_banks = 4;
+  a.lat.fp_mad = 6;   // paper Table 2
+  a.lat.fp64_mad = 8;
+  a.lat.alu = 6;
+  a.lat.shfl = 33;    // paper Table 2
+  a.lat.smem = 33;    // paper Table 2
+  a.lat.l1 = 82;      // Jia et al. [15]
+  a.lat.l2 = 234;     // Jia et al. [15]
+  a.lat.dram = 450;
+  a.lat.barrier = 26;
+  return a;
+}
+
+ArchSpec make_v100() {
+  ArchSpec a;
+  a.name = "V100";
+  a.sm_count = 80;
+  a.clock_ghz = 1.530;
+  a.max_warps_per_sm = 64;
+  a.regs_per_sm = 65536;
+  a.smem_per_sm = 96 * 1024;  // up to 96 KB (paper Table 1)
+  a.smem_per_block = 96 * 1024;
+  a.l1_bytes = 128 * 1024;  // Volta enhanced L1 (Section 7.1: >7x Pascal)
+  a.l1_ways = 4;
+  a.l2_bytes = 6 * 1024 * 1024;
+  a.l2_ways = 16;
+  a.dram_bw_gbps = 900.0;
+  a.sm_issue_width = 2.0;
+  a.issue_efficiency = 0.55;
+  a.fp64_issue_cost = 2.0;
+  a.register_banks = 2;
+  a.lat.fp_mad = 4;   // paper Table 2
+  a.lat.fp64_mad = 8;
+  a.lat.alu = 4;
+  a.lat.shfl = 22;    // paper Table 2
+  a.lat.smem = 27;    // paper Table 2
+  a.lat.l1 = 28;      // Jia et al. [16]; Section 7.1: ~2.8x faster than P100
+  a.lat.l2 = 193;     // Section 7.1
+  a.lat.dram = 400;
+  a.lat.barrier = 22;
+  return a;
+}
+
+ArchSpec make_k40() {
+  ArchSpec a;
+  a.name = "K40";
+  a.sm_count = 15;
+  a.clock_ghz = 0.875;
+  a.max_warps_per_sm = 64;
+  a.regs_per_sm = 65536;
+  a.smem_per_sm = 48 * 1024;  // 16/32/48 configurable (paper Table 1)
+  a.smem_per_block = 48 * 1024;
+  a.l1_bytes = 16 * 1024;
+  a.l2_bytes = 1536 * 1024;
+  a.dram_bw_gbps = 288.0;
+  a.sm_issue_width = 4.0;  // Kepler: 192 cores, 4 schedulers
+  a.issue_efficiency = 0.45;
+  a.fp64_issue_cost = 3.0;
+  a.register_banks = 4;
+  a.lat.fp_mad = 9;
+  a.lat.fp64_mad = 10;
+  a.lat.alu = 9;
+  a.lat.shfl = 33;
+  a.lat.smem = 47;
+  a.lat.l1 = 35;
+  a.lat.l2 = 200;
+  a.lat.dram = 500;
+  return a;
+}
+
+ArchSpec make_m40() {
+  ArchSpec a;
+  a.name = "M40";
+  a.sm_count = 24;
+  a.clock_ghz = 1.114;
+  a.max_warps_per_sm = 64;
+  a.regs_per_sm = 65536;
+  a.smem_per_sm = 96 * 1024;  // paper Table 1
+  a.smem_per_block = 48 * 1024;
+  a.l1_bytes = 24 * 1024;
+  a.l2_bytes = 3 * 1024 * 1024;
+  a.dram_bw_gbps = 288.0;
+  a.sm_issue_width = 2.0;
+  a.issue_efficiency = 0.50;
+  a.fp64_issue_cost = 32.0;  // Maxwell 1:32 FP64
+  a.register_banks = 4;
+  a.lat.fp_mad = 6;
+  a.lat.fp64_mad = 48;
+  a.lat.alu = 6;
+  a.lat.shfl = 33;
+  a.lat.smem = 34;
+  a.lat.l1 = 30;
+  a.lat.l2 = 210;
+  a.lat.dram = 480;
+  return a;
+}
+
+}  // namespace
+
+const ArchSpec& tesla_p100() {
+  static const ArchSpec a = make_p100();
+  return a;
+}
+const ArchSpec& tesla_v100() {
+  static const ArchSpec a = make_v100();
+  return a;
+}
+const ArchSpec& tesla_k40() {
+  static const ArchSpec a = make_k40();
+  return a;
+}
+const ArchSpec& tesla_m40() {
+  static const ArchSpec a = make_m40();
+  return a;
+}
+
+const std::vector<const ArchSpec*>& all_archs() {
+  static const std::vector<const ArchSpec*> v = {&tesla_k40(), &tesla_m40(), &tesla_p100(),
+                                                 &tesla_v100()};
+  return v;
+}
+
+const ArchSpec& arch_by_name(const std::string& name) {
+  for (const ArchSpec* a : all_archs()) {
+    if (a->name == name) return *a;
+  }
+  throw PreconditionError("unknown architecture: " + name);
+}
+
+}  // namespace ssam::sim

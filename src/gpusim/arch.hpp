@@ -1,0 +1,75 @@
+// Simulated GPU architecture descriptions.
+//
+// Latency parameters for P100/V100 come from the paper's Table 2
+// micro-benchmarks (shuffle, MAD, shared memory read) and from the
+// micro-architecture studies it cites: Jia et al. [15][16] for L1/L2 and the
+// CUDA guide's 200–400 cycle coalesced global load figure [42]. Capacity and
+// throughput numbers are the public data-sheet values for the SXM2 parts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ssam::sim {
+
+/// Instruction/memory latencies in cycles per warp, plus issue costs.
+struct LatencyTable {
+  int fp_mad = 4;        ///< fused multiply-add (also add/mul)
+  int fp64_mad = 8;      ///< double precision multiply-add
+  int alu = 4;           ///< integer / address / select
+  int shfl = 22;         ///< warp shuffle (paper Table 2)
+  int smem = 27;         ///< shared memory read (paper Table 2)
+  int smem_conflict_step = 2;  ///< extra cycles per serialized conflict pass
+  int l1 = 28;           ///< L1 hit
+  int l2 = 193;          ///< L2 hit
+  int dram = 400;        ///< DRAM access (coalesced, [42]: 200–400)
+  int barrier = 24;      ///< __syncthreads
+};
+
+/// One simulated GPU. Enough detail for the occupancy + scoreboard +
+/// bandwidth model; nothing speculative.
+struct ArchSpec {
+  std::string name;
+  int sm_count = 80;
+  double clock_ghz = 1.53;         ///< boost clock used for cycle→time conversion
+  int warp_size = 32;
+  int max_warps_per_sm = 64;
+  int max_blocks_per_sm = 32;
+  int regs_per_sm = 65536;         ///< 32-bit registers (paper Table 1)
+  int max_regs_per_thread = 255;
+  std::int64_t smem_per_sm = 96 * 1024;     ///< bytes (paper Table 1)
+  std::int64_t smem_per_block = 48 * 1024;  ///< default per-block limit
+  std::int64_t l1_bytes = 128 * 1024;
+  int l1_ways = 4;
+  std::int64_t l2_bytes = 6 * 1024 * 1024;
+  int l2_ways = 16;
+  int line_bytes = 128;            ///< L1 line; four 32B sectors
+  int sector_bytes = 32;
+  double dram_bw_gbps = 900.0;     ///< GB/s
+  /// Warp instructions the SM can issue per cycle for the dominant FP32 path
+  /// (64 FP32 lanes per SM on GP100/GV100 => 2 warp instructions / cycle).
+  double sm_issue_width = 2.0;
+  /// Fraction of peak issue the memory-bound kernels of interest sustain;
+  /// calibration constant covering fetch/decode stalls the scoreboard does
+  /// not model. One value per architecture, fixed across all experiments.
+  double issue_efficiency = 0.55;
+  double fp64_issue_cost = 2.0;    ///< FP64 warp op costs this many FP32 slots
+  double kernel_launch_overhead_us = 3.0;
+  int register_banks = 2;          ///< Volta: 2, earlier: 4 (Section 7.1)
+  LatencyTable lat;
+};
+
+/// Registry of the GPUs the paper reports (Table 1): K40, M40, P100, V100.
+[[nodiscard]] const ArchSpec& tesla_p100();
+[[nodiscard]] const ArchSpec& tesla_v100();
+[[nodiscard]] const ArchSpec& tesla_k40();
+[[nodiscard]] const ArchSpec& tesla_m40();
+
+/// All registered architectures in Table 1 order.
+[[nodiscard]] const std::vector<const ArchSpec*>& all_archs();
+
+/// Looks up an architecture by name ("P100", "V100", ...). Throws if unknown.
+[[nodiscard]] const ArchSpec& arch_by_name(const std::string& name);
+
+}  // namespace ssam::sim

@@ -1,0 +1,59 @@
+#include "gpusim/cache.hpp"
+
+#include "common/error.hpp"
+
+namespace ssam::sim {
+
+SetAssocCache::SetAssocCache(std::int64_t capacity_bytes, int line_bytes, int ways)
+    : capacity_(capacity_bytes), line_bytes_(line_bytes), ways_(ways) {
+  SSAM_REQUIRE(capacity_bytes > 0 && line_bytes > 0 && ways > 0, "cache geometry");
+  const std::int64_t lines = capacity_bytes / line_bytes;
+  SSAM_REQUIRE(lines >= ways, "cache smaller than one set");
+  num_sets_ = static_cast<std::size_t>(lines / ways);
+  ways_storage_.resize(num_sets_ * static_cast<std::size_t>(ways_));
+}
+
+bool SetAssocCache::access(std::uint64_t byte_addr) {
+  const std::uint64_t line = byte_addr / static_cast<std::uint64_t>(line_bytes_);
+  Way* set = &ways_storage_[set_of(line) * static_cast<std::size_t>(ways_)];
+  ++clock_;
+  Way* lru_way = set;
+  for (int w = 0; w < ways_; ++w) {
+    Way& way = set[w];
+    if (way.valid && way.tag == line) {
+      way.lru = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      lru_way = &way;  // prefer an invalid slot
+    } else if (lru_way->valid && way.lru < lru_way->lru) {
+      lru_way = &way;
+    }
+  }
+  lru_way->valid = true;
+  lru_way->tag = line;
+  lru_way->lru = clock_;
+  ++misses_;
+  return false;
+}
+
+bool SetAssocCache::touch_no_allocate(std::uint64_t byte_addr) {
+  const std::uint64_t line = byte_addr / static_cast<std::uint64_t>(line_bytes_);
+  Way* set = &ways_storage_[set_of(line) * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    Way& way = set[w];
+    if (way.valid && way.tag == line) {
+      way.lru = ++clock_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void SetAssocCache::reset() {
+  for (auto& w : ways_storage_) w = Way{};
+  clock_ = hits_ = misses_ = 0;
+}
+
+}  // namespace ssam::sim

@@ -1,0 +1,50 @@
+// Set-associative LRU cache model used for the simulated L1 and L2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssam::sim {
+
+/// Classic set-associative cache with true-LRU replacement. Tracks hit/miss
+/// only (data lives in host memory); used to decide the latency class and
+/// DRAM traffic of simulated global memory accesses.
+class SetAssocCache {
+ public:
+  /// capacity_bytes/line_bytes must be divisible into `ways`-way sets.
+  SetAssocCache(std::int64_t capacity_bytes, int line_bytes, int ways);
+
+  /// Touches the line containing `byte_addr`. Returns true on hit. On miss
+  /// the line is inserted (allocate-on-miss).
+  bool access(std::uint64_t byte_addr);
+
+  /// Hit test without allocation (used by write-through stores to keep L2 warm).
+  bool touch_no_allocate(std::uint64_t byte_addr);
+
+  void reset();
+
+  [[nodiscard]] int line_bytes() const { return line_bytes_; }
+  [[nodiscard]] std::int64_t capacity_bytes() const { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ull;
+    std::uint64_t lru = 0;  // higher = more recently used
+    bool valid = false;
+  };
+
+  [[nodiscard]] std::size_t set_of(std::uint64_t line) const { return line % num_sets_; }
+
+  std::int64_t capacity_;
+  int line_bytes_;
+  int ways_;
+  std::size_t num_sets_;
+  std::vector<Way> ways_storage_;  // num_sets_ * ways_
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace ssam::sim

@@ -1,0 +1,62 @@
+#include "gpusim/launch.hpp"
+
+#include <algorithm>
+
+namespace ssam::sim {
+
+Occupancy compute_occupancy(const ArchSpec& arch, int block_threads, int regs_per_thread,
+                            std::int64_t smem_per_block) {
+  SSAM_REQUIRE(block_threads > 0 && block_threads % arch.warp_size == 0,
+               "block size must be a warp multiple");
+  const int warps_per_block = block_threads / arch.warp_size;
+
+  Occupancy occ;
+  int by_warps = arch.max_warps_per_sm / warps_per_block;
+  // Register allocation granularity: model as straight per-thread allocation.
+  const int regs_per_block = std::max(1, regs_per_thread) * block_threads;
+  int by_regs = arch.regs_per_sm / regs_per_block;
+  int by_smem = smem_per_block > 0
+                    ? static_cast<int>(arch.smem_per_sm / smem_per_block)
+                    : arch.max_blocks_per_sm;
+  int by_slots = arch.max_blocks_per_sm;
+
+  occ.blocks_per_sm = std::max(1, std::min({by_warps, by_regs, by_smem, by_slots}));
+  if (by_regs <= 0 || by_smem <= 0 || by_warps <= 0) occ.blocks_per_sm = 1;  // oversubscribed
+  occ.warps_per_sm = occ.blocks_per_sm * warps_per_block;
+  occ.fraction = static_cast<double>(occ.warps_per_sm) / arch.max_warps_per_sm;
+
+  const int limit = occ.blocks_per_sm;
+  if (limit == by_regs) {
+    occ.limiter = "registers";
+  } else if (limit == by_smem) {
+    occ.limiter = "shared-memory";
+  } else if (limit == by_warps) {
+    occ.limiter = "warp-slots";
+  } else {
+    occ.limiter = "block-slots";
+  }
+  return occ;
+}
+
+std::vector<long long> sample_block_ids(long long blocks_total, const SampleSpec& spec) {
+  std::vector<long long> ids;
+  if (blocks_total <= spec.max_blocks) {
+    ids.resize(static_cast<std::size_t>(blocks_total));
+    for (long long i = 0; i < blocks_total; ++i) ids[static_cast<std::size_t>(i)] = i;
+    return ids;
+  }
+  const int runs = std::max(1, spec.runs);
+  const long long run_len = std::max<long long>(1, spec.max_blocks / runs);
+  for (int r = 0; r < runs; ++r) {
+    // Run starts spread evenly, biased away from the exact edges.
+    const long long start =
+        std::min(blocks_total - run_len,
+                 (blocks_total * (2 * r + 1)) / (2 * runs));
+    for (long long i = 0; i < run_len; ++i) ids.push_back(start + i);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace ssam::sim

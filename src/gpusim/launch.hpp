@@ -1,0 +1,215 @@
+// Kernel launch machinery: grids of blocks, per-block contexts, execution
+// modes, occupancy, and the sampled-timing methodology.
+//
+// Two modes:
+//  * Functional — every block executes (host-parallel), no timing state.
+//    Used by tests and examples to produce full, verifiable outputs.
+//  * Timing — a deterministic sample of blocks executes sequentially with
+//    caches and scoreboards live. Regular kernels do identical work per
+//    block, so per-block statistics extrapolate to the full grid; samples
+//    are taken as contiguous runs so L2 halo reuse between neighbouring
+//    blocks is preserved.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
+#include "common/types.hpp"
+#include "gpusim/arch.hpp"
+#include "gpusim/counters.hpp"
+#include "gpusim/memsim.hpp"
+#include "gpusim/shared_mem.hpp"
+#include "gpusim/warp.hpp"
+
+namespace ssam::sim {
+
+enum class ExecMode { kFunctional, kTiming };
+
+struct LaunchConfig {
+  Dim3 grid;
+  int block_threads = 128;
+  /// Registers per thread the kernel needs; drives occupancy like nvcc's
+  /// allocation does. Kernels report their own estimate.
+  int regs_per_thread = 32;
+
+  [[nodiscard]] int warps_per_block() const { return block_threads / kWarpSize; }
+};
+
+struct SampleSpec {
+  int max_blocks = 96;  ///< timing sample size
+  int runs = 4;         ///< contiguous runs the sample is split into
+};
+
+/// Execution context for one thread block.
+class BlockContext {
+ public:
+  BlockContext(const ArchSpec& arch, const LaunchConfig& cfg, BlockId id, MemorySystem* mem,
+               bool timing)
+      : arch_(&arch), cfg_(&cfg), id_(id), timing_(timing),
+        smem_(arch.smem_per_block) {
+    SSAM_REQUIRE(cfg.block_threads % kWarpSize == 0, "block size must be a warp multiple");
+    warps_.reserve(static_cast<std::size_t>(cfg.warps_per_block()));
+    for (int w = 0; w < cfg.warps_per_block(); ++w) {
+      warps_.emplace_back(arch, mem, timing, w);
+    }
+  }
+
+  [[nodiscard]] const ArchSpec& arch() const { return *arch_; }
+  [[nodiscard]] BlockId id() const { return id_; }
+  [[nodiscard]] Dim3 grid() const { return cfg_->grid; }
+  [[nodiscard]] int warp_count() const { return static_cast<int>(warps_.size()); }
+  [[nodiscard]] WarpContext& warp(int w) { return warps_[static_cast<std::size_t>(w)]; }
+
+  template <typename T>
+  [[nodiscard]] Smem<T> alloc_smem(int count) {
+    return smem_.alloc<T>(count);
+  }
+
+  /// __syncthreads(): aligns all warps' scoreboards to the block-wide
+  /// completion point plus the barrier cost.
+  void sync() {
+    if (!timing_) return;
+    Cycle barrier = 0;
+    for (auto& w : warps_) barrier = std::max(barrier, w.scoreboard().completion());
+    barrier += static_cast<Cycle>(arch_->lat.barrier);
+    for (auto& w : warps_) w.scoreboard().fence_at(barrier);
+    ++warps_.front().scoreboard().counters().barriers;
+  }
+
+  /// Block finish time: max warp completion.
+  [[nodiscard]] Cycle completion() const {
+    Cycle c = 0;
+    for (const auto& w : warps_) c = std::max(c, w.scoreboard().completion());
+    return c;
+  }
+
+  /// Weighted issue slots consumed by the whole block.
+  [[nodiscard]] double issue_slots() const {
+    double s = 0.0;
+    for (const auto& w : warps_) s += w.scoreboard().issue_slots();
+    return s;
+  }
+
+  [[nodiscard]] Counters counters() const {
+    Counters c;
+    for (const auto& w : warps_) c += w.scoreboard().counters();
+    return c;
+  }
+
+  [[nodiscard]] std::int64_t smem_high_water() const { return smem_.high_water(); }
+
+ private:
+  const ArchSpec* arch_;
+  const LaunchConfig* cfg_;
+  BlockId id_;
+  bool timing_;
+  SmemAllocator smem_;
+  std::vector<WarpContext> warps_;
+};
+
+/// Theoretical occupancy: how many blocks fit per SM, limited by warp slots,
+/// registers, shared memory and the block-slot limit.
+struct Occupancy {
+  int blocks_per_sm = 1;
+  int warps_per_sm = 1;
+  double fraction = 0.0;  ///< warps_per_sm / max_warps_per_sm
+  const char* limiter = "none";
+};
+
+[[nodiscard]] Occupancy compute_occupancy(const ArchSpec& arch, int block_threads,
+                                          int regs_per_thread, std::int64_t smem_per_block);
+
+/// Aggregate statistics of a (possibly sampled) kernel execution.
+struct KernelStats {
+  LaunchConfig cfg;
+  long long blocks_total = 0;
+  int blocks_timed = 0;
+  double cycles_per_block = 0.0;       ///< mean completion cycles
+  double issue_slots_per_block = 0.0;  ///< mean weighted issue slots
+  Counters totals;                     ///< scaled to the full grid
+  std::int64_t smem_bytes_per_block = 0;
+};
+
+/// Chooses `spec.max_blocks` flat block ids as `spec.runs` contiguous runs
+/// spread evenly across the grid. Deterministic.
+[[nodiscard]] std::vector<long long> sample_block_ids(long long blocks_total,
+                                                      const SampleSpec& spec);
+
+/// Launches `body(BlockContext&)` over the grid.
+template <typename Body>
+KernelStats launch(const ArchSpec& arch, const LaunchConfig& cfg, Body&& body, ExecMode mode,
+                   SampleSpec sample = {}) {
+  KernelStats stats;
+  stats.cfg = cfg;
+  stats.blocks_total = cfg.grid.count();
+  SSAM_REQUIRE(stats.blocks_total > 0, "empty grid");
+  // Validate up front: exceptions cannot propagate out of the parallel
+  // functional loop, so block-level checks must fail before dispatch.
+  SSAM_REQUIRE(cfg.block_threads > 0 && cfg.block_threads % kWarpSize == 0,
+               "block size must be a positive warp multiple");
+
+  const auto id_of = [&](long long flat) {
+    BlockId id;
+    id.x = static_cast<int>(flat % cfg.grid.x);
+    id.y = static_cast<int>((flat / cfg.grid.x) % cfg.grid.y);
+    id.z = static_cast<int>(flat / (static_cast<long long>(cfg.grid.x) * cfg.grid.y));
+    return id;
+  };
+
+  if (mode == ExecMode::kFunctional) {
+    parallel_for(stats.blocks_total, [&](std::int64_t flat) {
+      BlockContext blk(arch, cfg, id_of(flat), nullptr, /*timing=*/false);
+      body(blk);
+    });
+    return stats;
+  }
+
+  MemorySystem mem(arch);
+  const std::vector<long long> ids = sample_block_ids(stats.blocks_total, sample);
+  double cycles = 0.0;
+  double slots = 0.0;
+  Counters counters;
+  for (long long flat : ids) {
+    mem.begin_block();
+    BlockContext blk(arch, cfg, id_of(flat), &mem, /*timing=*/true);
+    body(blk);
+    cycles += static_cast<double>(blk.completion());
+    slots += blk.issue_slots();
+    counters += blk.counters();
+    stats.smem_bytes_per_block = std::max(stats.smem_bytes_per_block, blk.smem_high_water());
+  }
+  stats.blocks_timed = static_cast<int>(ids.size());
+  stats.cycles_per_block = cycles / static_cast<double>(ids.size());
+  stats.issue_slots_per_block = slots / static_cast<double>(ids.size());
+  const double scale =
+      static_cast<double>(stats.blocks_total) / static_cast<double>(ids.size());
+  // Scale counters to the full grid (regular kernels: uniform per-block work).
+  auto scaled = [&](std::uint64_t v) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) * scale + 0.5);
+  };
+  Counters t;
+  t.fp_ops = scaled(counters.fp_ops);
+  t.fp64_ops = scaled(counters.fp64_ops);
+  t.alu_ops = scaled(counters.alu_ops);
+  t.shfl_ops = scaled(counters.shfl_ops);
+  t.smem_loads = scaled(counters.smem_loads);
+  t.smem_stores = scaled(counters.smem_stores);
+  t.smem_broadcasts = scaled(counters.smem_broadcasts);
+  t.smem_conflict_extra = scaled(counters.smem_conflict_extra);
+  t.gmem_load_insts = scaled(counters.gmem_load_insts);
+  t.gmem_store_insts = scaled(counters.gmem_store_insts);
+  t.gmem_load_sectors = scaled(counters.gmem_load_sectors);
+  t.gmem_store_sectors = scaled(counters.gmem_store_sectors);
+  t.l1_hit_lines = scaled(counters.l1_hit_lines);
+  t.l2_hit_sectors = scaled(counters.l2_hit_sectors);
+  t.dram_read_bytes = scaled(counters.dram_read_bytes);
+  t.dram_write_bytes = scaled(counters.dram_write_bytes);
+  t.barriers = scaled(counters.barriers);
+  stats.totals = t;
+  return stats;
+}
+
+}  // namespace ssam::sim

@@ -1,0 +1,86 @@
+#include "gpusim/memsim.hpp"
+
+#include <algorithm>
+
+namespace ssam::sim {
+
+int MemorySystem::collect_sectors(std::span<const std::uint64_t> byte_addrs, int elem_bytes,
+                                  int sector_bytes, std::uint64_t* out, int cap) {
+  int n = 0;
+  for (std::uint64_t addr : byte_addrs) {
+    const std::uint64_t first = addr / static_cast<std::uint64_t>(sector_bytes);
+    const std::uint64_t last =
+        (addr + static_cast<std::uint64_t>(elem_bytes) - 1) / static_cast<std::uint64_t>(sector_bytes);
+    for (std::uint64_t s = first; s <= last && n < cap; ++s) out[n++] = s;
+  }
+  std::sort(out, out + n);
+  return static_cast<int>(std::unique(out, out + n) - out);
+}
+
+GlobalAccess MemorySystem::load(std::span<const std::uint64_t> byte_addrs, int elem_bytes) {
+  GlobalAccess r;
+  if (byte_addrs.empty()) return r;
+
+  // Up to 32 lanes * 2 sectors (an 8B element can straddle a boundary) * 2.
+  std::uint64_t sectors[128];
+  const int nsec =
+      collect_sectors(byte_addrs, elem_bytes, arch_->sector_bytes, sectors, 128);
+  r.sectors = nsec;
+
+  const int sectors_per_line = arch_->line_bytes / arch_->sector_bytes;
+  int i = 0;
+  while (i < nsec) {
+    const std::uint64_t line = sectors[i] / static_cast<std::uint64_t>(sectors_per_line);
+    ++r.lines;
+    const std::uint64_t line_byte = line * static_cast<std::uint64_t>(arch_->line_bytes);
+    if (l1_.access(line_byte)) {
+      ++r.l1_hit_lines;
+      r.latency = std::max(r.latency, arch_->lat.l1);
+      while (i < nsec && sectors[i] / static_cast<std::uint64_t>(sectors_per_line) == line) ++i;
+      continue;
+    }
+    // L1 miss: each touched sector goes to L2.
+    while (i < nsec && sectors[i] / static_cast<std::uint64_t>(sectors_per_line) == line) {
+      const std::uint64_t sector_byte =
+          sectors[i] * static_cast<std::uint64_t>(arch_->sector_bytes);
+      if (l2_.access(sector_byte)) {
+        ++r.l2_hit_sectors;
+        r.latency = std::max(r.latency, arch_->lat.l2);
+      } else {
+        ++r.dram_sectors;
+        r.latency = std::max(r.latency, arch_->lat.dram);
+      }
+      ++i;
+    }
+  }
+  return r;
+}
+
+GlobalAccess MemorySystem::store(std::span<const std::uint64_t> byte_addrs, int elem_bytes) {
+  GlobalAccess r;
+  if (byte_addrs.empty()) return r;
+
+  std::uint64_t sectors[128];
+  const int nsec =
+      collect_sectors(byte_addrs, elem_bytes, arch_->sector_bytes, sectors, 128);
+  r.sectors = nsec;
+
+  const int sectors_per_line = arch_->line_bytes / arch_->sector_bytes;
+  std::uint64_t prev_line = ~0ull;
+  for (int i = 0; i < nsec; ++i) {
+    const std::uint64_t line = sectors[i] / static_cast<std::uint64_t>(sectors_per_line);
+    if (line != prev_line) {
+      ++r.lines;
+      prev_line = line;
+    }
+    // Write-through accounting: the dirty sector eventually reaches DRAM.
+    // The line is installed in L2 so subsequent halo reads by neighbouring
+    // blocks can hit.
+    l2_.access(sectors[i] * static_cast<std::uint64_t>(arch_->sector_bytes));
+    ++r.dram_sectors;
+  }
+  r.latency = 0;  // stores do not stall the issuing warp in this model
+  return r;
+}
+
+}  // namespace ssam::sim

@@ -1,0 +1,64 @@
+// Simulated global memory system: coalescing, L1/L2 caches, DRAM traffic.
+//
+// A warp-wide global access is decomposed into 128-byte lines and 32-byte
+// sectors (the Pascal/Volta transaction granularity). Each touched line is
+// looked up in the per-SM L1; missing sectors go to the shared L2; L2 misses
+// count DRAM bytes. The returned latency class is the slowest component, as
+// the warp cannot proceed past a dependent use until all lanes land.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/counters.hpp"
+
+namespace ssam::sim {
+
+/// Outcome of one warp-wide global memory instruction.
+struct GlobalAccess {
+  int lines = 0;          ///< distinct 128B lines (issue replays)
+  int sectors = 0;        ///< distinct 32B sectors (traffic granularity)
+  int l1_hit_lines = 0;
+  int l2_hit_sectors = 0;
+  int dram_sectors = 0;
+  int latency = 0;        ///< cycles until the slowest lane's data arrives
+};
+
+/// Per-kernel memory hierarchy state. L1 is reset at block boundaries
+/// (simulating one SM's cache over a sampled block sequence); L2 persists
+/// across blocks, which is what lets adjacent blocks reuse halo lines.
+class MemorySystem {
+ public:
+  explicit MemorySystem(const ArchSpec& arch)
+      : arch_(&arch),
+        l1_(arch.l1_bytes, arch.line_bytes, arch.l1_ways),
+        l2_(arch.l2_bytes, arch.line_bytes, arch.l2_ways) {}
+
+  /// Called when a new block begins executing (cold L1 per block).
+  void begin_block() { l1_.reset(); }
+
+  /// Warp load: `byte_addrs` holds one byte address per active lane,
+  /// `elem_bytes` the element size (each lane touches [addr, addr+elem)).
+  GlobalAccess load(std::span<const std::uint64_t> byte_addrs, int elem_bytes);
+
+  /// Warp store, write-through to DRAM via L2; latency is not exposed to the
+  /// issuing warp (fire and forget).
+  GlobalAccess store(std::span<const std::uint64_t> byte_addrs, int elem_bytes);
+
+  [[nodiscard]] const SetAssocCache& l1() const { return l1_; }
+  [[nodiscard]] const SetAssocCache& l2() const { return l2_; }
+
+ private:
+  /// Collects the distinct sector ids touched by the access, sorted.
+  static int collect_sectors(std::span<const std::uint64_t> byte_addrs, int elem_bytes,
+                             int sector_bytes, std::uint64_t* out, int cap);
+
+  const ArchSpec* arch_;
+  SetAssocCache l1_;
+  SetAssocCache l2_;
+};
+
+}  // namespace ssam::sim

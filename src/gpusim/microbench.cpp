@@ -1,0 +1,75 @@
+#include "gpusim/microbench.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "gpusim/launch.hpp"
+
+namespace ssam::sim {
+
+namespace {
+
+/// Measured cycles per step of a dependent chain built by `step`, which maps
+/// the previous register to the next one.
+template <typename T, typename Step>
+double chain_cycles(Reg<T> seed, int iterations, Step&& step) {
+  Reg<T> v = seed;
+  v = step(v);  // warm-up: absorb issue alignment
+  const Cycle start = v.ready;
+  for (int i = 0; i < iterations; ++i) v = step(v);
+  return static_cast<double>(v.ready - start) / iterations;
+}
+
+}  // namespace
+
+MicrobenchResult run_microbench(const ArchSpec& arch, int iterations) {
+  MicrobenchResult res;
+  const LaunchConfig cfg{.grid = Dim3{1, 1, 1}, .block_threads = 32, .regs_per_thread = 32};
+  MemorySystem mem(arch);
+  BlockContext blk(arch, cfg, BlockId{}, &mem, /*timing=*/true);
+  WarpContext& w = blk.warp(0);
+
+  res.mad_cycles = chain_cycles(w.uniform(1.0f), iterations, [&](const Reg<float>& v) {
+    return w.mad(v, 0.999f, v);
+  });
+  res.add_cycles = chain_cycles(w.uniform(1.0f), iterations, [&](const Reg<float>& v) {
+    return w.add(v, 1.0f);
+  });
+  res.shfl_up_cycles = chain_cycles(w.iota(0.0f, 1.0f), iterations, [&](const Reg<float>& v) {
+    return w.shfl_up(kFullMask, v, 1);
+  });
+
+  // Shared-memory pointer chase: lane l repeatedly loads arr[idx] with
+  // idx = arr[idx]; the identity permutation keeps the access conflict-free.
+  Smem<int> arr = blk.alloc_smem<int>(kWarpSize);
+  for (int i = 0; i < kWarpSize; ++i) arr.data[i] = i;
+  res.smem_read_cycles = chain_cycles(w.lane_id(), iterations, [&](const Reg<int>& idx) {
+    return w.load_shared(arr, idx);
+  });
+
+  // Global-memory pointer chase across a buffer far larger than L2 so every
+  // step misses: stride one line past the cache ways.
+  const int chase_len = 1 << 16;
+  std::vector<Index> chase(static_cast<std::size_t>(chase_len) * kWarpSize);
+  const Index stride = arch.l2_bytes / static_cast<Index>(sizeof(Index)) / 2 / kWarpSize;
+  for (Index i = 0; i < chase_len; ++i) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      const Index slot = (i * kWarpSize + l);
+      chase[static_cast<std::size_t>(slot)] =
+          ((i + 1) % chase_len) * kWarpSize + ((l + stride) % kWarpSize);
+    }
+  }
+  // A pure pointer chase on a cold cache: measure only a few steps, each
+  // touching fresh lines.
+  {
+    Reg<Index> idx = w.iota<Index>(0, 1);
+    idx = w.load_global(chase.data(), idx);
+    const Cycle start = idx.ready;
+    const int steps = 32;
+    for (int i = 0; i < steps; ++i) idx = w.load_global(chase.data(), idx);
+    res.gmem_read_cycles = static_cast<double>(idx.ready - start) / steps;
+  }
+  return res;
+}
+
+}  // namespace ssam::sim

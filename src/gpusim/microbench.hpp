@@ -1,0 +1,25 @@
+// Latency micro-benchmarks executed *on the simulator*.
+//
+// The paper measures shuffle / MAD / shared-memory-read latencies with
+// dependent-operation chains (cudabmk, Section 5.1, Table 2). We run the
+// same chains through the scoreboard: the measured per-operation cost must
+// reproduce the architecture's configured latencies, closing the same loop
+// the paper closes against real hardware.
+#pragma once
+
+#include "gpusim/arch.hpp"
+
+namespace ssam::sim {
+
+struct MicrobenchResult {
+  double shfl_up_cycles = 0.0;
+  double mad_cycles = 0.0;
+  double add_cycles = 0.0;
+  double smem_read_cycles = 0.0;
+  double gmem_read_cycles = 0.0;  ///< dependent DRAM pointer chase
+};
+
+/// Runs all dependent-chain micro-benchmarks for one architecture.
+[[nodiscard]] MicrobenchResult run_microbench(const ArchSpec& arch, int iterations = 256);
+
+}  // namespace ssam::sim

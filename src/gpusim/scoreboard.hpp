@@ -1,0 +1,60 @@
+// In-order issue scoreboard for one simulated warp.
+//
+// Model: a warp issues at most one instruction per cycle (its own program
+// order); an instruction issues when its operands are ready and completes
+// `latency` cycles later. This captures the exposed-latency behaviour the
+// paper's Section 5 model reasons about (dependent MAD chains, shuffle
+// latency on the partial-sum path, shared-memory read latency).
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+
+#include "common/types.hpp"
+#include "gpusim/counters.hpp"
+
+namespace ssam::sim {
+
+class Scoreboard {
+ public:
+  /// Issues an instruction whose operands are ready at `operands_ready`,
+  /// occupying `issue_slots` issue cycles, with result latency `latency`.
+  /// Returns the cycle at which the result is ready.
+  Cycle issue(Cycle operands_ready, double issue_slots, int latency) {
+    const Cycle at = std::max(issue_cursor_, operands_ready);
+    issue_cursor_ = at + 1;  // program order: next instruction at least 1 cycle later
+    issue_slots_ += issue_slots;
+    const Cycle done = at + static_cast<Cycle>(latency);
+    completion_ = std::max(completion_, done);
+    return done;
+  }
+
+  /// Barrier: no instruction may issue before `cycle` (used by __syncthreads).
+  void fence_at(Cycle cycle) {
+    issue_cursor_ = std::max(issue_cursor_, cycle);
+    completion_ = std::max(completion_, cycle);
+  }
+
+  [[nodiscard]] Cycle completion() const { return completion_; }
+  [[nodiscard]] Cycle issue_cursor() const { return issue_cursor_; }
+  /// Weighted issue slots consumed (FP64 counts more, replayed memory
+  /// transactions count per transaction) — the SM throughput currency.
+  [[nodiscard]] double issue_slots() const { return issue_slots_; }
+
+  [[nodiscard]] Counters& counters() { return counters_; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  static Cycle ready_max(std::initializer_list<Cycle> cycles) {
+    Cycle m = 0;
+    for (Cycle c : cycles) m = std::max(m, c);
+    return m;
+  }
+
+ private:
+  Cycle issue_cursor_ = 0;
+  Cycle completion_ = 0;
+  double issue_slots_ = 0.0;
+  Counters counters_;
+};
+
+}  // namespace ssam::sim

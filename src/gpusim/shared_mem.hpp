@@ -1,0 +1,107 @@
+// Simulated shared memory (scratchpad) with 32-bank conflict analysis.
+//
+// CUDA shared memory is organized in 32 four-byte banks; a warp access
+// serializes into one pass per distinct word hitting the same bank, except
+// that all lanes reading the *same* address broadcast in a single pass
+// (Section 4.6 of the paper relies on this broadcast pattern for weights).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ssam::sim {
+
+inline constexpr int kSmemBanks = 32;
+inline constexpr int kSmemWordBytes = 4;
+inline constexpr int kSmemMaxLanes = 32;
+
+/// Typed handle to a block-shared array. `base_word` anchors bank math.
+template <typename T>
+struct Smem {
+  T* data = nullptr;
+  int count = 0;
+  std::int64_t base_word = 0;
+
+  [[nodiscard]] T& operator[](int i) const { return data[i]; }
+};
+
+/// Result of analyzing one warp-wide shared memory access.
+struct SmemAccessInfo {
+  int passes = 1;        ///< serialized passes (1 = conflict free)
+  bool broadcast = false;  ///< all active lanes hit one address
+};
+
+/// Computes the bank-conflict pass count for a set of word addresses
+/// (one per active lane).
+[[nodiscard]] inline SmemAccessInfo analyze_smem_access(std::span<const std::int64_t> words) {
+  if (words.empty()) return {1, false};
+  bool all_same = true;
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    if (words[i] != words[0]) {
+      all_same = false;
+      break;
+    }
+  }
+  if (all_same) return {1, true};
+
+  // Distinct words per bank; lanes hitting the same word share a pass.
+  int per_bank_count[kSmemBanks] = {};
+  std::int64_t per_bank_words[kSmemBanks][kSmemMaxLanes] = {};
+  int passes = 1;
+  for (std::int64_t w : words) {
+    const int bank = static_cast<int>(((w % kSmemBanks) + kSmemBanks) % kSmemBanks);
+    bool seen = false;
+    for (int i = 0; i < per_bank_count[bank]; ++i) {
+      if (per_bank_words[bank][i] == w) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) {
+      per_bank_words[bank][per_bank_count[bank]++] = w;
+      passes = std::max(passes, per_bank_count[bank]);
+    }
+  }
+  return {passes, false};
+}
+
+/// Bump allocator backing one thread block's shared memory. Storage is
+/// reserved up-front so handed-out pointers stay valid.
+class SmemAllocator {
+ public:
+  explicit SmemAllocator(std::int64_t limit_bytes)
+      : limit_(limit_bytes), storage_(static_cast<std::size_t>(limit_bytes)) {}
+
+  template <typename T>
+  [[nodiscard]] Smem<T> alloc(int count) {
+    SSAM_REQUIRE(count > 0, "shared array must be non-empty");
+    const std::int64_t align = static_cast<std::int64_t>(alignof(T)) > 4
+                                   ? static_cast<std::int64_t>(alignof(T))
+                                   : 4;
+    const std::int64_t start = (used_ + align - 1) / align * align;
+    const std::int64_t bytes = static_cast<std::int64_t>(sizeof(T)) * count;
+    if (start + bytes > limit_) {
+      throw ResourceError("shared memory request exceeds per-block limit");
+    }
+    used_ = start + bytes;
+    high_water_ = std::max(high_water_, used_);
+    return Smem<T>{reinterpret_cast<T*>(storage_.data() + start), count,
+                   start / kSmemWordBytes};
+  }
+
+  void reset() { used_ = 0; }
+  [[nodiscard]] std::int64_t high_water() const { return high_water_; }
+
+ private:
+  static_assert(sizeof(float) == 4);
+  std::int64_t limit_;
+  std::int64_t used_ = 0;
+  std::int64_t high_water_ = 0;
+  std::vector<std::byte> storage_;
+};
+
+}  // namespace ssam::sim

@@ -1,0 +1,40 @@
+#include "gpusim/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssam::sim {
+
+RuntimeEstimate estimate_runtime(const ArchSpec& arch, const KernelStats& stats) {
+  RuntimeEstimate est;
+  est.occupancy = compute_occupancy(arch, stats.cfg.block_threads, stats.cfg.regs_per_thread,
+                                    stats.smem_bytes_per_block);
+
+  const double resident = est.occupancy.blocks_per_sm;
+  const double eff_issue = arch.sm_issue_width * arch.issue_efficiency;
+
+  // Cycles for one SM to retire a batch of `resident` blocks: either the
+  // issue pipeline is saturated, or the batch is latency-limited by a single
+  // block's dependency chain.
+  const double batch_issue = resident * stats.issue_slots_per_block / eff_issue;
+  const double batch_cycles = std::max(stats.cycles_per_block, batch_issue);
+  const double batches_per_sm =
+      std::ceil(static_cast<double>(stats.blocks_total) /
+                (static_cast<double>(arch.sm_count) * resident));
+  const double cycles = batches_per_sm * batch_cycles;
+  est.compute_ms = cycles / (arch.clock_ghz * 1e9) * 1e3;
+
+  est.dram_ms =
+      static_cast<double>(stats.totals.dram_bytes()) / (arch.dram_bw_gbps * 1e9) * 1e3;
+
+  const double overhead_ms = arch.kernel_launch_overhead_us * 1e-3;
+  est.total_ms = std::max(est.compute_ms, est.dram_ms) + overhead_ms;
+  est.bound = est.compute_ms >= est.dram_ms ? "compute" : "memory";
+  return est;
+}
+
+double gcells_per_s(double cells, const RuntimeEstimate& est) {
+  return cells / (est.total_ms * 1e-3) / 1e9;
+}
+
+}  // namespace ssam::sim

@@ -1,0 +1,34 @@
+// SM-level runtime estimation from sampled per-block statistics.
+//
+// The model is the classic three-bound composition:
+//   * throughput bound  — total weighted issue slots over the SM issue rate,
+//   * latency bound     — a resident batch cannot finish faster than one
+//                         block's critical path (scoreboard completion),
+//   * bandwidth bound   — DRAM bytes over peak bandwidth.
+// Runtime = max(compute pipeline, DRAM) + launch overhead. The paper's
+// kernels are memory-bound at small filter sizes and slide toward the
+// throughput bound as the filter grows — exactly the crossover the model
+// must expose.
+#pragma once
+
+#include <string>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/launch.hpp"
+
+namespace ssam::sim {
+
+struct RuntimeEstimate {
+  double compute_ms = 0.0;
+  double dram_ms = 0.0;
+  double total_ms = 0.0;
+  Occupancy occupancy;
+  std::string bound;  ///< "compute" or "memory"
+};
+
+[[nodiscard]] RuntimeEstimate estimate_runtime(const ArchSpec& arch, const KernelStats& stats);
+
+/// Convenience: GCells/s given total updated cells and an estimate.
+[[nodiscard]] double gcells_per_s(double cells, const RuntimeEstimate& est);
+
+}  // namespace ssam::sim

@@ -1,0 +1,59 @@
+// Warp-wide values.
+//
+// The simulator executes device code warp-synchronously: one `Reg<T>` holds
+// the value of a virtual register across all 32 lanes of a warp, plus the
+// simulated cycle at which the value becomes available (set by the
+// scoreboard). This is the "software systolic array" substrate of the paper:
+// the PEs of Figure 1d are exactly these per-lane register slots.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace ssam::sim {
+
+inline constexpr int kWarpSize = 32;
+
+/// Full-warp participation mask, as in `__shfl_up_sync(0xffffffff, ...)`.
+inline constexpr std::uint32_t kFullMask = 0xffffffffu;
+
+/// Plain 32-lane SIMD value (no timing attached).
+template <typename T>
+struct Vec {
+  std::array<T, kWarpSize> lane{};
+
+  [[nodiscard]] T& operator[](int i) { return lane[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const T& operator[](int i) const { return lane[static_cast<std::size_t>(i)]; }
+
+  [[nodiscard]] static Vec splat(T v) {
+    Vec r;
+    r.lane.fill(v);
+    return r;
+  }
+
+  [[nodiscard]] static Vec iota(T base = T{0}, T step = T{1}) {
+    Vec r;
+    T v = base;
+    for (int i = 0; i < kWarpSize; ++i, v = static_cast<T>(v + step)) r[i] = v;
+    return r;
+  }
+};
+
+/// A virtual register: value lanes plus the cycle the value is ready.
+/// `ready == 0` means available immediately (constants, kernel arguments).
+template <typename T>
+struct Reg {
+  Vec<T> v{};
+  Cycle ready = 0;
+
+  [[nodiscard]] T& operator[](int i) { return v[i]; }
+  [[nodiscard]] const T& operator[](int i) const { return v[i]; }
+};
+
+/// Lane predicate: nonzero = active/true. Produced by comparisons, consumed
+/// by select() and predicated memory operations.
+using Pred = Reg<int>;
+
+}  // namespace ssam::sim

@@ -1,0 +1,396 @@
+// WarpContext: the device-code API of the simulated GPU.
+//
+// Kernels are ordinary C++ functions that manipulate `Reg<T>` values through
+// a WarpContext. Every operation has
+//   * a functional effect on all 32 lanes (warp-synchronous semantics), and
+//   * in timing mode, a scoreboard effect (issue slot + operand-ready
+//     dependency + result latency) and counter updates.
+// Shuffle semantics follow CUDA's __shfl_*_sync with a full mask: lanes whose
+// source falls outside the warp keep their own value.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "common/types.hpp"
+#include "gpusim/arch.hpp"
+#include "gpusim/memsim.hpp"
+#include "gpusim/scoreboard.hpp"
+#include "gpusim/shared_mem.hpp"
+#include "gpusim/vec.hpp"
+
+namespace ssam::sim {
+
+namespace detail {
+template <typename T>
+inline constexpr bool is_fp = std::is_floating_point_v<T>;
+}
+
+class WarpContext {
+ public:
+  WarpContext(const ArchSpec& arch, MemorySystem* mem, bool timing, int warp_id)
+      : arch_(&arch), mem_(mem), timing_(timing), warp_id_(warp_id) {}
+
+  WarpContext(const WarpContext&) = delete;
+  WarpContext& operator=(const WarpContext&) = delete;
+  WarpContext(WarpContext&&) = default;
+  WarpContext& operator=(WarpContext&&) = default;
+
+  [[nodiscard]] int warp_id() const { return warp_id_; }
+  [[nodiscard]] const ArchSpec& arch() const { return *arch_; }
+  [[nodiscard]] bool timing() const { return timing_; }
+  [[nodiscard]] Scoreboard& scoreboard() { return sb_; }
+  [[nodiscard]] const Scoreboard& scoreboard() const { return sb_; }
+
+  /// Lane index vector [0..31]; free (a hardware special register).
+  [[nodiscard]] Reg<int> lane_id() const {
+    Reg<int> r;
+    r.v = Vec<int>::iota(0, 1);
+    return r;
+  }
+
+  /// Immediate / kernel-argument value: available at cycle 0, no cost.
+  template <typename T>
+  [[nodiscard]] Reg<T> uniform(T v) const {
+    Reg<T> r;
+    r.v = Vec<T>::splat(v);
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> iota(T base, T step) const {
+    Reg<T> r;
+    r.v = Vec<T>::iota(base, step);
+    return r;
+  }
+
+  // ---------------------------------------------------------------- compute
+
+  /// d = a * b + c (the MAD of Listing 1/2).
+  template <typename T>
+  [[nodiscard]] Reg<T> mad(const Reg<T>& a, const Reg<T>& b, const Reg<T>& c) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] * b[l] + c[l];
+    time_arith<T>(r, Scoreboard::ready_max({a.ready, b.ready, c.ready}));
+    return r;
+  }
+
+  /// MAD with an immediate coefficient (stencil coefficients as arguments).
+  template <typename T>
+  [[nodiscard]] Reg<T> mad(const Reg<T>& a, T b, const Reg<T>& c) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] * b + c[l];
+    time_arith<T>(r, Scoreboard::ready_max({a.ready, c.ready}));
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> add(const Reg<T>& a, const Reg<T>& b) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] + b[l];
+    time_arith<T>(r, Scoreboard::ready_max({a.ready, b.ready}));
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> add(const Reg<T>& a, T b) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] + b;
+    time_arith<T>(r, a.ready);
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> sub(const Reg<T>& a, const Reg<T>& b) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] - b[l];
+    time_arith<T>(r, Scoreboard::ready_max({a.ready, b.ready}));
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> mul(const Reg<T>& a, const Reg<T>& b) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] * b[l];
+    time_arith<T>(r, Scoreboard::ready_max({a.ready, b.ready}));
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> mul(const Reg<T>& a, T b) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] * b;
+    time_arith<T>(r, a.ready);
+    return r;
+  }
+
+  /// Affine index computation x*scale + offset, one integer MAD.
+  [[nodiscard]] Reg<Index> affine(const Reg<Index>& x, Index scale, Index offset) {
+    Reg<Index> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = x[l] * scale + offset;
+    time_alu(r, x.ready, 1.0);
+    return r;
+  }
+
+  /// Clamps lanes into [lo, hi]; costs two ALU ops (min+max).
+  template <typename T>
+  [[nodiscard]] Reg<T> clamp(const Reg<T>& x, T lo, T hi) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = x[l] < lo ? lo : (x[l] > hi ? hi : x[l]);
+    time_alu(r, x.ready, 2.0);
+    return r;
+  }
+
+  /// Charges `slots` ALU issue slots with no functional effect. Models
+  /// compiler-generated bookkeeping (runtime loop counters, bounds
+  /// predicates, re-materialized addresses) that the warp-synchronous C++
+  /// form of a kernel does not express but real SASS executes. Baselines use
+  /// this to reflect their measured instruction mixes; SSAM kernels never do.
+  void charge_alu(double slots) {
+    if (!timing_) return;
+    sb_.counters().alu_ops += static_cast<std::uint64_t>(slots);
+    (void)sb_.issue(0, slots, arch_->lat.alu);
+  }
+
+  // ------------------------------------------------------------- predicates
+
+  /// pred[l] = (a[l] >= b) ? 1 : 0.
+  template <typename T>
+  [[nodiscard]] Pred cmp_ge(const Reg<T>& a, T b) {
+    Pred r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] >= b ? 1 : 0;
+    time_alu(r, a.ready, 1.0);
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Pred cmp_lt(const Reg<T>& a, T b) {
+    Pred r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] < b ? 1 : 0;
+    time_alu(r, a.ready, 1.0);
+    return r;
+  }
+
+  [[nodiscard]] Pred pred_and(const Pred& a, const Pred& b) {
+    Pred r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = (a[l] != 0 && b[l] != 0) ? 1 : 0;
+    time_alu(r, Scoreboard::ready_max({a.ready, b.ready}), 1.0);
+    return r;
+  }
+
+  /// r = pred ? a : b (SEL instruction).
+  template <typename T>
+  [[nodiscard]] Reg<T> select(const Pred& pred, const Reg<T>& a, const Reg<T>& b) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = pred[l] != 0 ? a[l] : b[l];
+    time_alu(r, Scoreboard::ready_max({pred.ready, a.ready, b.ready}), 1.0);
+    return r;
+  }
+
+  // --------------------------------------------------------------- shuffles
+
+  /// __shfl_up_sync: lane l receives lane l-delta; lanes < delta keep their
+  /// own value. This is the partial-sum shift of Figure 2c.
+  template <typename T>
+  [[nodiscard]] Reg<T> shfl_up(std::uint32_t mask, const Reg<T>& a, int delta) {
+    require_full_mask(mask);
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = l >= delta ? a[l - delta] : a[l];
+    time_shfl(r, a.ready);
+    return r;
+  }
+
+  /// __shfl_down_sync: lane l receives lane l+delta; top lanes keep their own.
+  template <typename T>
+  [[nodiscard]] Reg<T> shfl_down(std::uint32_t mask, const Reg<T>& a, int delta) {
+    require_full_mask(mask);
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = l + delta < kWarpSize ? a[l + delta] : a[l];
+    time_shfl(r, a.ready);
+    return r;
+  }
+
+  /// __shfl_sync with a uniform source lane (broadcast).
+  template <typename T>
+  [[nodiscard]] Reg<T> shfl_idx(std::uint32_t mask, const Reg<T>& a, int src_lane) {
+    require_full_mask(mask);
+    Reg<T> r;
+    const int s = src_lane & (kWarpSize - 1);
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[s];
+    time_shfl(r, a.ready);
+    return r;
+  }
+
+  /// __shfl_xor_sync (butterfly exchange).
+  template <typename T>
+  [[nodiscard]] Reg<T> shfl_xor(std::uint32_t mask, const Reg<T>& a, int lane_mask) {
+    require_full_mask(mask);
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l ^ lane_mask];
+    time_shfl(r, a.ready);
+    return r;
+  }
+
+  // ---------------------------------------------------------- global memory
+
+  /// Gather: r[l] = base[idx[l]] for active lanes (inactive lanes get T{}).
+  /// Coalescing is derived from the actual lane addresses.
+  template <typename T>
+  [[nodiscard]] Reg<T> load_global(const T* base, const Reg<Index>& idx,
+                                   const Pred* active = nullptr) {
+    Reg<T> r;
+    std::uint64_t addrs[kWarpSize];
+    int n = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active != nullptr && (*active)[l] == 0) continue;
+      r[l] = base[idx[l]];
+      addrs[n++] = reinterpret_cast<std::uint64_t>(base + idx[l]);
+    }
+    if (timing_) {
+      const GlobalAccess ga = mem_->load({addrs, static_cast<std::size_t>(n)}, sizeof(T));
+      Counters& c = sb_.counters();
+      ++c.gmem_load_insts;
+      c.gmem_load_sectors += static_cast<std::uint64_t>(ga.sectors);
+      c.l1_hit_lines += static_cast<std::uint64_t>(ga.l1_hit_lines);
+      c.l2_hit_sectors += static_cast<std::uint64_t>(ga.l2_hit_sectors);
+      c.dram_read_bytes +=
+          static_cast<std::uint64_t>(ga.dram_sectors) * static_cast<std::uint64_t>(arch_->sector_bytes);
+      const Cycle dep = Scoreboard::ready_max({idx.ready, active ? active->ready : 0});
+      r.ready = sb_.issue(dep, std::max(1, ga.lines), ga.latency);
+    }
+    return r;
+  }
+
+  /// Scatter: base[idx[l]] = v[l] for active lanes.
+  template <typename T>
+  void store_global(T* base, const Reg<Index>& idx, const Reg<T>& v,
+                    const Pred* active = nullptr) {
+    std::uint64_t addrs[kWarpSize];
+    int n = 0;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active != nullptr && (*active)[l] == 0) continue;
+      base[idx[l]] = v[l];
+      addrs[n++] = reinterpret_cast<std::uint64_t>(base + idx[l]);
+    }
+    if (timing_) {
+      const GlobalAccess ga = mem_->store({addrs, static_cast<std::size_t>(n)}, sizeof(T));
+      Counters& c = sb_.counters();
+      ++c.gmem_store_insts;
+      c.gmem_store_sectors += static_cast<std::uint64_t>(ga.sectors);
+      c.dram_write_bytes +=
+          static_cast<std::uint64_t>(ga.dram_sectors) * static_cast<std::uint64_t>(arch_->sector_bytes);
+      const Cycle dep = Scoreboard::ready_max({idx.ready, v.ready, active ? active->ready : 0});
+      (void)sb_.issue(dep, std::max(1, ga.lines), 0);
+    }
+  }
+
+  // ---------------------------------------------------------- shared memory
+
+  /// Per-lane shared load with bank-conflict modeling.
+  template <typename T>
+  [[nodiscard]] Reg<T> load_shared(const Smem<T>& s, const Reg<int>& idx,
+                                   const Pred* active = nullptr) {
+    Reg<T> r;
+    std::int64_t words[kWarpSize];
+    int n = 0;
+    constexpr int words_per_elem = static_cast<int>(sizeof(T) / kSmemWordBytes);
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active != nullptr && (*active)[l] == 0) continue;
+      r[l] = s.data[idx[l]];
+      words[n++] = s.base_word + static_cast<std::int64_t>(idx[l]) * words_per_elem;
+    }
+    if (timing_) {
+      const SmemAccessInfo info = analyze_smem_access({words, static_cast<std::size_t>(n)});
+      const int passes = info.passes * words_per_elem;
+      Counters& c = sb_.counters();
+      ++c.smem_loads;
+      if (info.broadcast) ++c.smem_broadcasts;
+      c.smem_conflict_extra += static_cast<std::uint64_t>(passes - 1);
+      const Cycle dep = Scoreboard::ready_max({idx.ready, active ? active->ready : 0});
+      const int latency = arch_->lat.smem + (passes - 1) * arch_->lat.smem_conflict_step;
+      r.ready = sb_.issue(dep, passes, latency);
+    }
+    return r;
+  }
+
+  /// Uniform-address shared load (the broadcast weight read of Listing 1).
+  template <typename T>
+  [[nodiscard]] Reg<T> load_shared_broadcast(const Smem<T>& s, int idx) {
+    Reg<T> r;
+    r.v = Vec<T>::splat(s.data[idx]);
+    if (timing_) {
+      Counters& c = sb_.counters();
+      ++c.smem_loads;
+      ++c.smem_broadcasts;
+      r.ready = sb_.issue(0, 1.0, arch_->lat.smem);
+    }
+    return r;
+  }
+
+  template <typename T>
+  void store_shared(const Smem<T>& s, const Reg<int>& idx, const Reg<T>& v,
+                    const Pred* active = nullptr) {
+    std::int64_t words[kWarpSize];
+    int n = 0;
+    constexpr int words_per_elem = static_cast<int>(sizeof(T) / kSmemWordBytes);
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active != nullptr && (*active)[l] == 0) continue;
+      s.data[idx[l]] = v[l];
+      words[n++] = s.base_word + static_cast<std::int64_t>(idx[l]) * words_per_elem;
+    }
+    if (timing_) {
+      const SmemAccessInfo info = analyze_smem_access({words, static_cast<std::size_t>(n)});
+      const int passes = info.passes * words_per_elem;
+      Counters& c = sb_.counters();
+      ++c.smem_stores;
+      c.smem_conflict_extra += static_cast<std::uint64_t>(passes - 1);
+      const Cycle dep = Scoreboard::ready_max({idx.ready, v.ready, active ? active->ready : 0});
+      (void)sb_.issue(dep, passes, 0);
+    }
+  }
+
+ private:
+  static void require_full_mask(std::uint32_t mask) {
+    SSAM_REQUIRE(mask == kFullMask, "only full-warp shuffle masks are modeled");
+  }
+
+  template <typename T, typename R>
+  void time_arith(Reg<R>& r, Cycle dep) {
+    if (!timing_) return;
+    Counters& c = sb_.counters();
+    if constexpr (detail::is_fp<T>) {
+      ++c.fp_ops;
+      if constexpr (sizeof(T) == 8) {
+        ++c.fp64_ops;
+        r.ready = sb_.issue(dep, arch_->fp64_issue_cost, arch_->lat.fp64_mad);
+      } else {
+        r.ready = sb_.issue(dep, 1.0, arch_->lat.fp_mad);
+      }
+    } else {
+      ++c.alu_ops;
+      r.ready = sb_.issue(dep, 1.0, arch_->lat.alu);
+    }
+  }
+
+  template <typename R>
+  void time_alu(Reg<R>& r, Cycle dep, double slots) {
+    if (!timing_) return;
+    sb_.counters().alu_ops += static_cast<std::uint64_t>(slots);
+    r.ready = sb_.issue(dep, slots, arch_->lat.alu);
+  }
+
+  template <typename R>
+  void time_shfl(Reg<R>& r, Cycle dep) {
+    if (!timing_) return;
+    ++sb_.counters().shfl_ops;
+    r.ready = sb_.issue(dep, 1.0, arch_->lat.shfl);
+  }
+
+  const ArchSpec* arch_;
+  MemorySystem* mem_;
+  bool timing_;
+  int warp_id_;
+  Scoreboard sb_;
+};
+
+}  // namespace ssam::sim

@@ -1,0 +1,57 @@
+#include "paperdata/paper_values.hpp"
+
+namespace ssam::paper {
+
+const std::vector<Table1Row>& table1() {
+  static const std::vector<Table1Row> rows = {
+      {"K40", "16/32/48 KB", 65536, 15},
+      {"M40", "96 KB", 65536, 24},
+      {"P100", "64 KB", 65536, 56},
+      {"V100", "up to 96 KB", 65536, 80},
+  };
+  return rows;
+}
+
+const std::vector<Table2Row>& table2() {
+  static const std::vector<Table2Row> rows = {
+      {"P100", 33.0, 6.0, 33.0},
+      {"V100", 22.0, 4.0, 27.0},
+  };
+  return rows;
+}
+
+const std::vector<Table3Row>& table3() {
+  static const std::vector<Table3Row> rows = {
+      {"2d5pt", 1, 9},    {"2d9pt", 2, 17},    {"2d13pt", 3, 25},  {"2d17pt", 4, 33},
+      {"2d21pt", 5, 41},  {"2ds25pt", 6, 49},  {"2d25pt", 2, 33},  {"2d64pt", 4, 73},
+      {"2d81pt", 4, 95},  {"2d121pt", 5, 241}, {"3d7pt", 1, 13},   {"3d13pt", 2, 25},
+      {"3d27pt", 1, 30},  {"3d125pt", 2, 130}, {"poisson", 1, 21},
+  };
+  return rows;
+}
+
+const std::vector<QuotedGCells>& quoted_temporal_results() {
+  static const std::vector<QuotedGCells> rows = {
+      // Diffusion (Zohouri et al. [62], 3d7pt optimized per Maruyama [32]).
+      {"Diffusion", "3d7pt", "P100", true, 92.7},
+      {"Diffusion", "3d7pt", "V100", true, 162.4},
+      {"Diffusion", "3d7pt", "P100", false, 30.6},
+      {"Diffusion", "3d7pt", "V100", false, 46.9},
+      // Bricks [61] on P100 (not publicly available; V100 not reported).
+      {"Bricks", "overall", "P100", true, 41.4},
+      {"Bricks", "overall", "P100", false, 24.25},
+  };
+  return rows;
+}
+
+const std::vector<CufftRuntime>& cufft_runtimes() {
+  static const std::vector<CufftRuntime> rows = {
+      {"P100", 353.0},
+      {"V100", 349.0},
+  };
+  return rows;
+}
+
+Claims headline_claims() { return Claims{}; }
+
+}  // namespace ssam::paper

@@ -1,0 +1,61 @@
+// Values reported by the paper, recorded verbatim for paper-vs-measured
+// comparisons in the benches and EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssam::paper {
+
+/// Table 1: shared memory and register files on GPUs.
+struct Table1Row {
+  const char* gpu;
+  const char* smem_per_sm;
+  int regs_per_sm;
+  int sms;
+};
+[[nodiscard]] const std::vector<Table1Row>& table1();
+
+/// Table 2: measured operation latencies (cycles/warp).
+struct Table2Row {
+  const char* gpu;
+  double shfl_up_sync;
+  double add_sub_mad;
+  double smem_read;
+};
+[[nodiscard]] const std::vector<Table2Row>& table2();
+
+/// Table 3: the stencil benchmark suite (name, order k, FLOPs-per-point).
+struct Table3Row {
+  const char* benchmark;
+  int k;
+  int fpp;
+};
+[[nodiscard]] const std::vector<Table3Row>& table3();
+
+/// Section 6.4 quoted results for libraries the paper could not rerun.
+struct QuotedGCells {
+  const char* system;
+  const char* benchmark;
+  const char* gpu;
+  bool single_precision;
+  double gcells_per_s;
+};
+[[nodiscard]] const std::vector<QuotedGCells>& quoted_temporal_results();
+
+/// cuFFT's (filter-size-independent) 2D convolution runtime on 8192^2 FP32.
+struct CufftRuntime {
+  const char* gpu;
+  double runtime_ms;
+};
+[[nodiscard]] const std::vector<CufftRuntime>& cufft_runtimes();
+
+/// Headline claims of the abstract / Section 6.2, used as bench pass/fail
+/// shape criteria.
+struct Claims {
+  double npp_speedup_avg = 2.5;       ///< "on average 2.5x faster than NPP"
+  double arrayfire_speedup_max = 1.5; ///< "up to 1.5x faster than ArrayFire"
+};
+[[nodiscard]] Claims headline_claims();
+
+}  // namespace ssam::paper

@@ -1,0 +1,86 @@
+// The paper's analytical performance model (Section 5).
+//
+// Equations implemented verbatim:
+//   Lsmem  = M*N*(Tmad + 2*Tsmem_read + 2*Treg)                       (§5.2)
+//   Lreg   = M*N*(Tmad + Tsmem_read + 2*Treg) + (M-1)*Tshfl           (Eq. 4)
+//   Dif    = Lsmem - Lreg = M*N*Tsmem_read - (M-1)*Tshfl              (Eq. 5)
+//   HRrc   = (S*C - (S-M)*(C-N)) / (S*C),  C = P+N-1, S = WarpSize    (§5.3)
+//   AvgDif > Tsmem - Tgmem*(N/(N+P-1) + M/32)
+//            + P*M*N*Tsmem/(N+P-1) - (M-1)*Tshfl                      (§5.3)
+// The paper's conclusions — Dif >> 0 and AvgDif >> 0 for M,N >= 2 — are
+// verified as tests and re-derived against simulator measurements by
+// bench_model_validation.
+#pragma once
+
+#include "gpusim/arch.hpp"
+#include "gpusim/vec.hpp"
+
+namespace ssam::perf {
+
+/// The micro-benchmarked latencies the model consumes (Table 2 plus the
+/// global-memory read latency of [42]).
+struct MicroLatencies {
+  double t_mad = 4;
+  double t_shfl = 22;
+  double t_smem_read = 27;
+  double t_reg = 1;       ///< register file read/write
+  double t_gmem_read = 400;
+};
+
+/// Pulls the model inputs out of a simulated architecture description.
+[[nodiscard]] inline MicroLatencies from_arch(const sim::ArchSpec& a) {
+  MicroLatencies m;
+  m.t_mad = a.lat.fp_mad;
+  m.t_shfl = a.lat.shfl;
+  m.t_smem_read = a.lat.smem;
+  m.t_reg = 1;
+  m.t_gmem_read = a.lat.dram;
+  return m;
+}
+
+/// Latency of one output element, conventional shared-memory scheme (§5.2).
+[[nodiscard]] inline double latency_smem_method(int m, int n, const MicroLatencies& lat) {
+  return m * n * (lat.t_mad + 2 * lat.t_smem_read + 2 * lat.t_reg);
+}
+
+/// Latency of one output element under SSAM (Equation 4).
+[[nodiscard]] inline double latency_ssam_method(int m, int n, const MicroLatencies& lat) {
+  return m * n * (lat.t_mad + lat.t_smem_read + 2 * lat.t_reg) + (m - 1) * lat.t_shfl;
+}
+
+/// Equation 5: the per-element advantage of SSAM.
+[[nodiscard]] inline double dif_smem_reg(int m, int n, const MicroLatencies& lat) {
+  return m * n * lat.t_smem_read - (m - 1) * lat.t_shfl;
+}
+
+/// Halo ratio of the register cache (§5.3).
+[[nodiscard]] inline double halo_ratio_rc(int m, int n, int p) {
+  const double s = sim::kWarpSize;
+  const double c = p + n - 1;
+  return (s * c - (s - m) * (c - n)) / (s * c);
+}
+
+/// Paper's closed-form bound HRrc < (S*N + C*M)/(S*C).
+[[nodiscard]] inline double halo_ratio_bound(int m, int n, int p) {
+  const double s = sim::kWarpSize;
+  const double c = p + n - 1;
+  return (s * n + c * m) / (s * c);
+}
+
+/// §5.3's average-difference lower bound (per cached element, including the
+/// halo overhead of overlapped blocking).
+[[nodiscard]] inline double avg_dif_lower_bound(int m, int n, int p,
+                                                const MicroLatencies& lat) {
+  const double c = p + n - 1;
+  return lat.t_smem_read -
+         lat.t_gmem_read * (n / c + static_cast<double>(m) / sim::kWarpSize) +
+         p * m * n * lat.t_smem_read / c - (m - 1) * lat.t_shfl;
+}
+
+/// §5.4: predicted cost of a shift schedule — used to pick the best D.
+[[nodiscard]] inline double plan_shift_cost(int horizontal_shifts,
+                                            const MicroLatencies& lat) {
+  return horizontal_shifts * lat.t_shfl;
+}
+
+}  // namespace ssam::perf

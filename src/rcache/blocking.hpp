@@ -1,0 +1,97 @@
+// Overlapped blocking geometry (paper Sections 4.5, 4.7, 5.3).
+//
+// A warp loads a WarpSize-wide input stripe; after the systolic shifts only
+// WarpSize - span lanes hold valid outputs, so consecutive warps overlap by
+// `span` columns (the halo lanes of Figure 3). Vertically, each warp loads
+// C = P + N - 1 rows to emit P output rows. This header centralizes the
+// index bookkeeping and the halo-ratio analysis of Section 5.3.
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "gpusim/vec.hpp"
+
+namespace ssam::core {
+
+/// Geometry of the 2D overlapped blocking scheme.
+struct Blocking2D {
+  int span = 0;      ///< horizontal systolic shifts (M-1 for an M-wide filter)
+  int dx_min = 0;    ///< leftmost column offset consumed (-cx for conv)
+  int rows_halo = 0; ///< N-1 extra rows per warp
+  int p = 4;         ///< outputs per thread (sliding window length)
+  int block_threads = 128;
+
+  /// Register cache capacity per thread: C = P + N - 1 (Equation 3).
+  [[nodiscard]] int c() const { return p + rows_halo; }
+
+  /// Valid output columns per warp: WarpSize - span.
+  [[nodiscard]] int valid_cols() const { return sim::kWarpSize - span; }
+
+  [[nodiscard]] int warps_per_block() const { return block_threads / sim::kWarpSize; }
+
+  /// Grid dimensions for a W x H domain (Section 4.7).
+  [[nodiscard]] Dim3 grid(Index width, Index height) const {
+    SSAM_REQUIRE(valid_cols() > 0, "filter too wide for one warp");
+    Dim3 g;
+    g.x = static_cast<int>(
+        ceil_div(width, static_cast<long long>(warps_per_block()) * valid_cols()));
+    g.y = static_cast<int>(ceil_div(height, p));
+    g.z = 1;
+    return g;
+  }
+
+  /// Input column loaded by lane 0 of global warp index j (blocks*warps).
+  [[nodiscard]] Index lane0_col(long long warp_linear) const {
+    return static_cast<Index>(warp_linear) * valid_cols() + dx_min;
+  }
+
+  /// Top input row loaded by a warp in block row `by` (includes y halo).
+  [[nodiscard]] Index top_row(int by, int cy) const {
+    return static_cast<Index>(by) * p - cy;
+  }
+
+  /// Halo ratio of the register cache method (Section 5.3):
+  /// HRrc = (S*C - (S-M)*(C-N)) / (S*C), with S = WarpSize.
+  [[nodiscard]] static double halo_ratio_rc(int m, int n, int p) {
+    const double s = sim::kWarpSize;
+    const double c = p + n - 1;
+    return (s * c - (s - m) * (c - n)) / (s * c);
+  }
+
+  /// Paper's closed-form bound: HRrc < (S*N + C*M) / (S*C).
+  [[nodiscard]] static double halo_ratio_bound(int m, int n, int p) {
+    const double s = sim::kWarpSize;
+    const double c = p + n - 1;
+    return (s * n + c * m) / (s * c);
+  }
+};
+
+/// Geometry of the 3D overlapped blocking scheme (Section 4.9): a block of
+/// WZ warps covers WZ consecutive z-planes; the outer rz planes on each side
+/// are halo planes whose warps only produce partial sums for the interior.
+struct Blocking3D {
+  Blocking2D plane;  ///< in-plane geometry (span from the x extents)
+  int rz = 1;        ///< z radius
+  int warps = 8;     ///< planes per block (= warps per block)
+
+  [[nodiscard]] int valid_planes() const { return warps - 2 * rz; }
+  [[nodiscard]] int block_threads() const { return warps * sim::kWarpSize; }
+
+  [[nodiscard]] Dim3 grid(Index nx, Index ny, Index nz) const {
+    SSAM_REQUIRE(valid_planes() > 0, "z block too shallow for stencil radius");
+    Dim3 g;
+    g.x = static_cast<int>(ceil_div(nx, plane.valid_cols()));
+    g.y = static_cast<int>(ceil_div(ny, plane.p));
+    g.z = static_cast<int>(ceil_div(nz, valid_planes()));
+    return g;
+  }
+
+  /// Fraction of loaded planes that are halo (z-direction redundancy).
+  [[nodiscard]] double z_halo_ratio() const {
+    return static_cast<double>(2 * rz) / warps;
+  }
+};
+
+}  // namespace ssam::core

@@ -1,0 +1,56 @@
+// Register cache (paper Section 4.2).
+//
+// Each thread of a warp reserves C registers; jointly the warp holds a
+// WarpSize x C register matrix caching a tile of the input. Rows are loaded
+// with one fully coalesced global load per row (one element per lane), and
+// the sliding window of Section 4.2 walks the rows so neighbouring outputs
+// reuse C - 1 of the C cached rows.
+#pragma once
+
+#include <vector>
+
+#include "common/grid.hpp"
+#include "gpusim/warp.hpp"
+
+namespace ssam::core {
+
+using sim::Reg;
+using sim::WarpContext;
+
+/// The per-warp register cache: a column of C values per lane.
+template <typename T>
+class RegisterCache {
+ public:
+  RegisterCache(WarpContext& warp, int capacity) : warp_(&warp) {
+    SSAM_REQUIRE(capacity > 0, "register cache capacity must be positive");
+    rows_.resize(static_cast<std::size_t>(capacity));
+  }
+
+  [[nodiscard]] int capacity() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] Reg<T>& row(int i) { return rows_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const Reg<T>& row(int i) const { return rows_[static_cast<std::size_t>(i)]; }
+
+  /// Loads `capacity()` consecutive rows starting at `row0`; lane l reads
+  /// column `col0 + l`. Out-of-domain coordinates are border-resolved by
+  /// clamping (replicate), matching the paper's evaluation setup.
+  void load_rows(const GridView2D<const T>& in, Index col0, Index row0) {
+    WarpContext& w = *warp_;
+    // Column index per lane, clamped once and reused for every row.
+    Reg<Index> col = w.clamp(w.iota<Index>(col0, 1), Index{0}, in.width() - 1);
+    for (int r = 0; r < capacity(); ++r) {
+      Index y = row0 + r;
+      y = y < 0 ? 0 : (y >= in.height() ? in.height() - 1 : y);
+      const Reg<Index> idx = w.affine(col, 1, y * in.pitch());
+      rows_[static_cast<std::size_t>(r)] = w.load_global(in.data(), idx);
+    }
+  }
+
+  /// Registers this cache costs per thread (for occupancy estimation).
+  [[nodiscard]] int registers_per_thread() const { return capacity(); }
+
+ private:
+  WarpContext* warp_;
+  std::vector<Reg<T>> rows_;
+};
+
+}  // namespace ssam::core

@@ -1,0 +1,66 @@
+// Scalar golden implementations of 1D/2D convolution.
+//
+// Convention (fixed library-wide): a filter has M columns (x extent) and
+// N rows (y extent), stored row-major as w[n*M + m]. The output is the
+// centered cross-correlation
+//   out(x, y) = sum_{m=0..M-1} sum_{n=0..N-1} in(x + m - cx, y + n - cy) * w[n*M+m]
+// with cx = (M-1)/2, cy = (N-1)/2, matching NPP's FilterBorder behaviour
+// the paper benchmarks against (replicate border by default).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/grid.hpp"
+#include "common/types.hpp"
+
+namespace ssam::ref {
+
+/// 1D convolution of `in` with an M-tap filter, centered, border-resolved.
+template <typename T>
+void conv1d(std::span<const T> in, std::span<const T> w, std::span<T> out,
+            Border border = Border::kClamp) {
+  SSAM_REQUIRE(in.size() == out.size(), "conv1d: size mismatch");
+  const Index n = static_cast<Index>(in.size());
+  const Index m = static_cast<Index>(w.size());
+  const Index cx = (m - 1) / 2;
+  for (Index x = 0; x < n; ++x) {
+    T acc{};
+    for (Index t = 0; t < m; ++t) {
+      Index src = x + t - cx;
+      if (src < 0 || src >= n) {
+        if (border == Border::kZero) continue;
+        src = src < 0 ? 0 : n - 1;
+      }
+      acc += in[static_cast<std::size_t>(src)] * w[static_cast<std::size_t>(t)];
+    }
+    out[static_cast<std::size_t>(x)] = acc;
+  }
+}
+
+/// 2D convolution with an M (width) x N (height) filter.
+template <typename T>
+void conv2d(const GridView2D<const T>& in, std::span<const T> w, int filter_m, int filter_n,
+            GridView2D<T> out, Border border = Border::kClamp) {
+  SSAM_REQUIRE(in.width() == out.width() && in.height() == out.height(),
+               "conv2d: extents mismatch");
+  SSAM_REQUIRE(static_cast<Index>(w.size()) == static_cast<Index>(filter_m) * filter_n,
+               "conv2d: filter size mismatch");
+  const Index cx = (filter_m - 1) / 2;
+  const Index cy = (filter_n - 1) / 2;
+  for (Index y = 0; y < in.height(); ++y) {
+    for (Index x = 0; x < in.width(); ++x) {
+      T acc{};
+      for (Index n = 0; n < filter_n; ++n) {
+        for (Index m = 0; m < filter_m; ++m) {
+          acc += in.read(x + m - cx, y + n - cy, border) *
+                 w[static_cast<std::size_t>(n * filter_m + m)];
+        }
+      }
+      out.at(x, y) = acc;
+    }
+  }
+}
+
+}  // namespace ssam::ref

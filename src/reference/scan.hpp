@@ -1,0 +1,47 @@
+// Scalar golden implementations of scan and summed-area tables.
+#pragma once
+
+#include <span>
+
+#include "common/error.hpp"
+#include "common/grid.hpp"
+
+namespace ssam::ref {
+
+/// Inclusive prefix sum (the Scan operator of Section 3.6).
+template <typename T>
+void inclusive_scan(std::span<const T> in, std::span<T> out) {
+  SSAM_REQUIRE(in.size() == out.size(), "scan: size mismatch");
+  T acc{};
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+}
+
+/// Summed Area Table: sat(x,y) = sum of in over the inclusive rectangle
+/// [0..x] x [0..y] (the 2D scan of Section 3.6 / reference [8]).
+template <typename T>
+void summed_area_table(const GridView2D<const T>& in, GridView2D<T> out) {
+  SSAM_REQUIRE(in.width() == out.width() && in.height() == out.height(), "sat: extents");
+  for (Index y = 0; y < in.height(); ++y) {
+    T row{};
+    for (Index x = 0; x < in.width(); ++x) {
+      row += in.at(x, y);
+      out.at(x, y) = row + (y > 0 ? out.at(x, y - 1) : T{});
+    }
+  }
+}
+
+/// Rectangle sum from a SAT over inclusive corners (x0,y0)-(x1,y1).
+template <typename T>
+[[nodiscard]] T sat_rect_sum(const GridView2D<const T>& sat, Index x0, Index y0, Index x1,
+                             Index y1) {
+  T s = sat.at(x1, y1);
+  if (x0 > 0) s -= sat.at(x0 - 1, y1);
+  if (y0 > 0) s -= sat.at(x1, y0 - 1);
+  if (x0 > 0 && y0 > 0) s += sat.at(x0 - 1, y0 - 1);
+  return s;
+}
+
+}  // namespace ssam::ref

@@ -1,0 +1,345 @@
+// Unit tests for the simulated GPU substrate: shuffle semantics, scoreboard
+// timing, caches, coalescing, shared-memory bank conflicts, occupancy,
+// block sampling, and the Table 2 micro-benchmarks.
+#include <gtest/gtest.h>
+
+#include "gpusim/arch.hpp"
+#include "gpusim/cache.hpp"
+#include "gpusim/launch.hpp"
+#include "gpusim/microbench.hpp"
+#include "gpusim/timing.hpp"
+
+namespace {
+
+using namespace ssam;
+using namespace ssam::sim;
+
+struct WarpFixture {
+  const ArchSpec& arch = tesla_v100();
+  LaunchConfig cfg{.grid = Dim3{1, 1, 1}, .block_threads = 128, .regs_per_thread = 32};
+  MemorySystem mem{arch};
+  BlockContext blk{arch, cfg, BlockId{}, &mem, true};
+  WarpContext& w = blk.warp(0);
+};
+
+// --- shuffle semantics (CUDA __shfl_*_sync corner cases) -------------------
+
+TEST(Shuffle, UpLowLanesKeepOwnValue) {
+  WarpFixture f;
+  Reg<int> v = f.w.iota(100, 1);  // lane l holds 100+l
+  const Reg<int> r = f.w.shfl_up(kFullMask, v, 3);
+  for (int l = 0; l < 3; ++l) EXPECT_EQ(r[l], 100 + l) << "low lane keeps own";
+  for (int l = 3; l < kWarpSize; ++l) EXPECT_EQ(r[l], 100 + l - 3);
+}
+
+TEST(Shuffle, DownHighLanesKeepOwnValue) {
+  WarpFixture f;
+  Reg<int> v = f.w.iota(0, 1);
+  const Reg<int> r = f.w.shfl_down(kFullMask, v, 5);
+  for (int l = 0; l < kWarpSize - 5; ++l) EXPECT_EQ(r[l], l + 5);
+  for (int l = kWarpSize - 5; l < kWarpSize; ++l) EXPECT_EQ(r[l], l);
+}
+
+TEST(Shuffle, IdxBroadcastsAndWrapsModuloWarp) {
+  WarpFixture f;
+  Reg<int> v = f.w.iota(0, 1);
+  const Reg<int> r = f.w.shfl_idx(kFullMask, v, 7);
+  for (int l = 0; l < kWarpSize; ++l) EXPECT_EQ(r[l], 7);
+  const Reg<int> wrapped = f.w.shfl_idx(kFullMask, v, 32 + 4);  // lane 36 -> 4
+  for (int l = 0; l < kWarpSize; ++l) EXPECT_EQ(wrapped[l], 4);
+}
+
+TEST(Shuffle, XorButterfly) {
+  WarpFixture f;
+  Reg<int> v = f.w.iota(0, 1);
+  const Reg<int> r = f.w.shfl_xor(kFullMask, v, 1);
+  for (int l = 0; l < kWarpSize; ++l) EXPECT_EQ(r[l], l ^ 1);
+}
+
+TEST(Shuffle, PartialMaskRejected) {
+  WarpFixture f;
+  Reg<int> v = f.w.iota(0, 1);
+  EXPECT_THROW((void)f.w.shfl_up(0x0000ffffu, v, 1), PreconditionError);
+}
+
+// --- scoreboard -------------------------------------------------------------
+
+TEST(Scoreboard, DependentChainAccumulatesLatency) {
+  Scoreboard sb;
+  Cycle r = sb.issue(0, 1.0, 10);
+  EXPECT_EQ(r, 10u);
+  r = sb.issue(r, 1.0, 10);  // dependent: issues at 10
+  EXPECT_EQ(r, 20u);
+  EXPECT_EQ(sb.completion(), 20u);
+}
+
+TEST(Scoreboard, IndependentOpsPipeline) {
+  Scoreboard sb;
+  (void)sb.issue(0, 1.0, 10);
+  (void)sb.issue(0, 1.0, 10);  // independent: issues at 1, done at 11
+  EXPECT_EQ(sb.completion(), 11u);
+  EXPECT_EQ(sb.issue_cursor(), 2u);
+}
+
+TEST(Scoreboard, FenceBlocksLaterIssue) {
+  Scoreboard sb;
+  (void)sb.issue(0, 1.0, 4);
+  sb.fence_at(100);
+  const Cycle r = sb.issue(0, 1.0, 4);
+  EXPECT_EQ(r, 104u);
+}
+
+TEST(Scoreboard, DeeperDependencyChainTakesLonger) {
+  // Property: a chain of n dependent ops completes no earlier than n/2
+  // independent pairs.
+  WarpFixture f;
+  Reg<float> v = f.w.uniform(1.0f);
+  for (int i = 0; i < 64; ++i) v = f.w.mad(v, 0.5f, v);
+  const Cycle dependent = f.w.scoreboard().completion();
+
+  WarpFixture g;
+  Reg<float> a = g.w.uniform(1.0f), b = g.w.uniform(2.0f);
+  for (int i = 0; i < 32; ++i) {
+    a = g.w.mad(a, 0.5f, a);
+    b = g.w.mad(b, 0.5f, b);
+  }
+  EXPECT_GT(dependent, g.w.scoreboard().completion());
+}
+
+// --- caches ------------------------------------------------------------------
+
+TEST(Cache, MissThenHit) {
+  SetAssocCache c(1024, 128, 2);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // same 128B line
+  EXPECT_FALSE(c.access(128));
+}
+
+TEST(Cache, LruEviction) {
+  SetAssocCache c(2 * 128, 128, 2);  // one set, two ways
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(128));
+  EXPECT_TRUE(c.access(0));     // refresh line 0
+  EXPECT_FALSE(c.access(256));  // evicts line 128 (LRU)
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(128));  // was evicted
+}
+
+TEST(Cache, CapacitySweepProperty) {
+  // Property: a working set within capacity has a second-pass hit rate of 1;
+  // a working set at 2x capacity thrashes a direct round-robin scan.
+  SetAssocCache c(64 * 1024, 128, 4);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 64 * 1024; a += 128) (void)c.access(a);
+  }
+  EXPECT_EQ(c.hits(), 512u);  // every second-pass access hits
+  c.reset();
+  std::uint64_t miss_before = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t a = 0; a < 128 * 1024; a += 128) (void)c.access(a);
+    if (pass == 0) miss_before = c.misses();
+  }
+  EXPECT_GT(c.misses(), miss_before);  // second pass still missing
+}
+
+// --- coalescing ---------------------------------------------------------------
+
+TEST(Coalescing, UnitStrideFp32IsOneLine) {
+  const ArchSpec& arch = tesla_v100();
+  MemorySystem mem(arch);
+  alignas(128) static float buf[1024];
+  std::uint64_t addrs[32];
+  for (int l = 0; l < 32; ++l) addrs[l] = reinterpret_cast<std::uint64_t>(&buf[l]);
+  const GlobalAccess ga = mem.load({addrs, 32}, 4);
+  EXPECT_EQ(ga.sectors, 4);  // 32 lanes * 4B = 128B = 4 sectors
+  EXPECT_LE(ga.lines, 2);    // 1 if aligned, 2 if straddling
+}
+
+TEST(Coalescing, StridedGatherTouchesManyLines) {
+  const ArchSpec& arch = tesla_v100();
+  MemorySystem mem(arch);
+  static float buf[32 * 64];
+  std::uint64_t addrs[32];
+  for (int l = 0; l < 32; ++l) addrs[l] = reinterpret_cast<std::uint64_t>(&buf[l * 64]);
+  const GlobalAccess ga = mem.load({addrs, 32}, 4);
+  EXPECT_EQ(ga.lines, 32);  // every lane its own 128B line
+  EXPECT_EQ(ga.sectors, 32);
+}
+
+TEST(Coalescing, RepeatLoadHitsL1) {
+  const ArchSpec& arch = tesla_v100();
+  MemorySystem mem(arch);
+  static float buf[64];
+  std::uint64_t addrs[32];
+  for (int l = 0; l < 32; ++l) addrs[l] = reinterpret_cast<std::uint64_t>(&buf[l]);
+  (void)mem.load({addrs, 32}, 4);
+  const GlobalAccess second = mem.load({addrs, 32}, 4);
+  EXPECT_EQ(second.l1_hit_lines, second.lines);
+  EXPECT_EQ(second.latency, arch.lat.l1);
+}
+
+TEST(Coalescing, L2SurvivesBlockBoundaryL1DoesNot) {
+  const ArchSpec& arch = tesla_v100();
+  MemorySystem mem(arch);
+  static float buf[64];
+  std::uint64_t addrs[32];
+  for (int l = 0; l < 32; ++l) addrs[l] = reinterpret_cast<std::uint64_t>(&buf[l]);
+  (void)mem.load({addrs, 32}, 4);
+  mem.begin_block();  // new block: L1 cold, L2 warm
+  const GlobalAccess ga = mem.load({addrs, 32}, 4);
+  EXPECT_EQ(ga.l1_hit_lines, 0);
+  EXPECT_EQ(ga.l2_hit_sectors, ga.sectors);
+  EXPECT_EQ(ga.latency, arch.lat.l2);
+}
+
+// --- shared memory bank conflicts ----------------------------------------------
+
+TEST(SmemBanks, UnitStrideConflictFree) {
+  std::int64_t words[32];
+  for (int l = 0; l < 32; ++l) words[l] = l;
+  const SmemAccessInfo info = analyze_smem_access({words, 32});
+  EXPECT_EQ(info.passes, 1);
+  EXPECT_FALSE(info.broadcast);
+}
+
+TEST(SmemBanks, Stride32FullyConflicts) {
+  std::int64_t words[32];
+  for (int l = 0; l < 32; ++l) words[l] = l * 32;
+  EXPECT_EQ(analyze_smem_access({words, 32}).passes, 32);
+}
+
+TEST(SmemBanks, Stride2TwoWayConflict) {
+  std::int64_t words[32];
+  for (int l = 0; l < 32; ++l) words[l] = l * 2;
+  EXPECT_EQ(analyze_smem_access({words, 32}).passes, 2);
+}
+
+TEST(SmemBanks, BroadcastIsFree) {
+  std::int64_t words[32];
+  for (int l = 0; l < 32; ++l) words[l] = 17;
+  const SmemAccessInfo info = analyze_smem_access({words, 32});
+  EXPECT_EQ(info.passes, 1);
+  EXPECT_TRUE(info.broadcast);
+}
+
+TEST(SmemBanks, SameWordLanesShareAPass) {
+  std::int64_t words[32];
+  for (int l = 0; l < 32; ++l) words[l] = l / 2;  // pairs share a word
+  EXPECT_EQ(analyze_smem_access({words, 32}).passes, 1);
+}
+
+// --- occupancy ------------------------------------------------------------------
+
+TEST(Occupancy, WarpSlotLimited) {
+  const Occupancy o = compute_occupancy(tesla_v100(), 128, 16, 0);
+  EXPECT_EQ(o.blocks_per_sm, 16);  // 64 warps / 4 warps per block
+  EXPECT_DOUBLE_EQ(o.fraction, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const Occupancy o = compute_occupancy(tesla_v100(), 128, 128, 0);
+  EXPECT_EQ(o.blocks_per_sm, 4);  // 65536 / (128*128)
+  EXPECT_STREQ(o.limiter, "registers");
+}
+
+TEST(Occupancy, SmemLimited) {
+  const Occupancy o = compute_occupancy(tesla_p100(), 128, 16, 32 * 1024);
+  EXPECT_EQ(o.blocks_per_sm, 2);  // 64KB / 32KB
+  EXPECT_STREQ(o.limiter, "shared-memory");
+}
+
+TEST(Occupancy, MoreRegistersNeverRaisesOccupancy) {
+  int prev = 1 << 30;
+  for (int regs = 16; regs <= 255; regs += 16) {
+    const Occupancy o = compute_occupancy(tesla_p100(), 128, regs, 0);
+    EXPECT_LE(o.blocks_per_sm, prev);
+    prev = o.blocks_per_sm;
+  }
+}
+
+// --- sampling / launch -----------------------------------------------------------
+
+TEST(Sampling, SmallGridsTimedFully) {
+  const auto ids = sample_block_ids(50, SampleSpec{96, 4});
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST(Sampling, LargeGridsSampledInContiguousRuns) {
+  const auto ids = sample_block_ids(1000000, SampleSpec{96, 4});
+  EXPECT_LE(ids.size(), 96u);
+  int contiguous = 0;
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] == ids[i - 1] + 1) ++contiguous;
+  }
+  EXPECT_GE(contiguous, static_cast<int>(ids.size()) - 4);  // 4 runs
+  for (long long id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 1000000);
+  }
+}
+
+TEST(Launch, TimingStatsScaleWithGrid) {
+  const ArchSpec& arch = tesla_p100();
+  auto run = [&](int gx) {
+    LaunchConfig cfg{.grid = Dim3{gx, 1, 1}, .block_threads = 32, .regs_per_thread = 16};
+    return launch(
+        arch, cfg,
+        [](BlockContext& blk) {
+          WarpContext& w = blk.warp(0);
+          Reg<float> v = w.uniform(1.0f);
+          for (int i = 0; i < 10; ++i) v = w.mad(v, 0.9f, v);
+        },
+        ExecMode::kTiming);
+  };
+  const KernelStats s1 = run(100);
+  const KernelStats s2 = run(200);
+  EXPECT_NEAR(static_cast<double>(s2.totals.fp_ops),
+              2.0 * static_cast<double>(s1.totals.fp_ops), 1.0);
+  EXPECT_NEAR(s1.cycles_per_block, s2.cycles_per_block, 1e-9);
+}
+
+TEST(Launch, RuntimeEstimateMonotoneInWork) {
+  const ArchSpec& arch = tesla_v100();
+  auto time_of = [&](int iters) {
+    LaunchConfig cfg{.grid = Dim3{10000, 1, 1}, .block_threads = 128,
+                     .regs_per_thread = 32};
+    auto stats = launch(
+        arch, cfg,
+        [&](BlockContext& blk) {
+          for (int w = 0; w < blk.warp_count(); ++w) {
+            WarpContext& wc = blk.warp(w);
+            Reg<float> v = wc.uniform(1.0f);
+            for (int i = 0; i < iters; ++i) v = wc.mad(v, 0.9f, v);
+          }
+        },
+        ExecMode::kTiming);
+    return estimate_runtime(arch, stats).total_ms;
+  };
+  EXPECT_LT(time_of(16), time_of(64));
+  EXPECT_LT(time_of(64), time_of(256));
+}
+
+TEST(Microbench, RecoversConfiguredLatencies) {
+  for (const ArchSpec* arch : {&tesla_p100(), &tesla_v100()}) {
+    const MicrobenchResult r = run_microbench(*arch);
+    EXPECT_DOUBLE_EQ(r.mad_cycles, arch->lat.fp_mad) << arch->name;
+    EXPECT_DOUBLE_EQ(r.shfl_up_cycles, arch->lat.shfl) << arch->name;
+    EXPECT_DOUBLE_EQ(r.smem_read_cycles, arch->lat.smem) << arch->name;
+    EXPECT_GE(r.gmem_read_cycles, arch->lat.l2);  // chase misses L1 at least
+  }
+}
+
+TEST(SmemAllocator, EnforcesBlockLimit) {
+  SmemAllocator alloc(1024);
+  (void)alloc.alloc<float>(200);
+  EXPECT_THROW((void)alloc.alloc<float>(100), ResourceError);
+}
+
+TEST(ArchRegistry, Table1ArchitecturesPresent) {
+  EXPECT_EQ(all_archs().size(), 4u);
+  EXPECT_EQ(arch_by_name("P100").sm_count, 56);
+  EXPECT_EQ(arch_by_name("V100").sm_count, 80);
+  EXPECT_THROW((void)arch_by_name("H100"), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Algebraic property tests and error-path (precondition) coverage.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/conv2d.hpp"
+#include "core/scan.hpp"
+#include "core/stencil2d.hpp"
+#include "core/stencil3d.hpp"
+#include "core/stencil_suite.hpp"
+#include "gpusim/arch.hpp"
+
+namespace {
+
+using namespace ssam;
+
+// --- convolution algebra ------------------------------------------------------
+
+TEST(ConvAlgebra, DeltaFilterIsIdentity) {
+  for (int f : {1, 3, 5, 9}) {
+    Grid2D<float> in(64, 48), out(64, 48);
+    fill_random(in, 3);
+    std::vector<float> w(static_cast<std::size_t>(f) * f, 0.0f);
+    w[static_cast<std::size_t>((f / 2) * f + f / 2)] = 1.0f;  // center delta
+    core::conv2d_ssam<float>(sim::tesla_v100(), in.cview(), w, f, f, out.view());
+    EXPECT_LE(normalized_max_diff<float>({out.data(), static_cast<std::size_t>(out.size())},
+                                         {in.data(), static_cast<std::size_t>(in.size())}),
+              1e-7)
+        << f;
+  }
+}
+
+TEST(ConvAlgebra, LinearityInTheImage) {
+  // conv(a*x + b*y) == a*conv(x) + b*conv(y).
+  const Index n = 72;
+  Grid2D<float> x(n, n), y(n, n), mix(n, n);
+  fill_random(x, 5);
+  fill_random(y, 6);
+  const float alpha = 0.7f, beta = -1.3f;
+  for (Index i = 0; i < mix.size(); ++i) {
+    mix.data()[i] = alpha * x.data()[i] + beta * y.data()[i];
+  }
+  std::vector<float> w(25);
+  fill_random(w, 7, -0.5, 0.5);
+  Grid2D<float> cx(n, n), cy(n, n), cmix(n, n);
+  core::conv2d_ssam<float>(sim::tesla_v100(), x.cview(), w, 5, 5, cx.view());
+  core::conv2d_ssam<float>(sim::tesla_v100(), y.cview(), w, 5, 5, cy.view());
+  core::conv2d_ssam<float>(sim::tesla_v100(), mix.cview(), w, 5, 5, cmix.view());
+  double err = 0;
+  for (Index i = 0; i < n * n; ++i) {
+    err = std::max(err, std::abs(static_cast<double>(cmix.data()[i]) -
+                                 (alpha * cx.data()[i] + beta * cy.data()[i])));
+  }
+  EXPECT_LE(err, 1e-4);
+}
+
+TEST(ConvAlgebra, LinearityInTheFilter) {
+  const Index n = 64;
+  Grid2D<float> in(n, n);
+  fill_random(in, 8);
+  std::vector<float> w1(9), w2(9), wsum(9);
+  fill_random(w1, 9, -0.5, 0.5);
+  fill_random(w2, 10, -0.5, 0.5);
+  for (int i = 0; i < 9; ++i) wsum[static_cast<std::size_t>(i)] = w1[i] + w2[i];
+  Grid2D<float> c1(n, n), c2(n, n), cs(n, n);
+  core::conv2d_ssam<float>(sim::tesla_p100(), in.cview(), w1, 3, 3, c1.view());
+  core::conv2d_ssam<float>(sim::tesla_p100(), in.cview(), w2, 3, 3, c2.view());
+  core::conv2d_ssam<float>(sim::tesla_p100(), in.cview(), wsum, 3, 3, cs.view());
+  double err = 0;
+  for (Index i = 0; i < n * n; ++i) {
+    err = std::max(err, std::abs(static_cast<double>(cs.data()[i]) -
+                                 (c1.data()[i] + c2.data()[i])));
+  }
+  EXPECT_LE(err, 1e-5);
+}
+
+TEST(ConvAlgebra, InteriorShiftEquivariance) {
+  // Shifting the input shifts the output (away from borders).
+  const Index n = 96;
+  Grid2D<float> in(n, n), shifted(n, n);
+  fill_random(in, 11);
+  for (Index y = 0; y < n; ++y) {
+    for (Index x = 0; x < n; ++x) {
+      shifted.at(x, y) = in.cview().read(x - 2, y - 3, Border::kClamp);
+    }
+  }
+  std::vector<float> w(9);
+  fill_random(w, 12, -0.5, 0.5);
+  Grid2D<float> c1(n, n), c2(n, n);
+  core::conv2d_ssam<float>(sim::tesla_v100(), in.cview(), w, 3, 3, c1.view());
+  core::conv2d_ssam<float>(sim::tesla_v100(), shifted.cview(), w, 3, 3, c2.view());
+  double err = 0;
+  for (Index y = 8; y < n - 8; ++y) {
+    for (Index x = 8; x < n - 8; ++x) {
+      err = std::max(err,
+                     std::abs(static_cast<double>(c2.at(x, y)) - c1.at(x - 2, y - 3)));
+    }
+  }
+  EXPECT_LE(err, 1e-6);
+}
+
+TEST(StencilAlgebra, ConstantFieldIsEigenvector) {
+  // A constant field maps to (sum of coefficients) * constant under clamp
+  // borders, for any shape.
+  for (const char* name : {"2d9pt", "2d121pt"}) {
+    const auto shape = core::suite_stencil<float>(name);
+    float coeff_sum = 0;
+    for (const auto& t : shape.taps) coeff_sum += t.coeff;
+    Grid2D<float> in(64, 48, 2.5f), out(64, 48);
+    core::stencil2d_ssam<float>(sim::tesla_v100(), in.cview(), shape, out.view());
+    for (Index i = 0; i < out.size(); ++i) {
+      ASSERT_NEAR(out.data()[i], 2.5f * coeff_sum, 1e-5) << name;
+    }
+  }
+}
+
+// --- precondition / failure injection ------------------------------------------
+
+TEST(Preconditions, ConvRejectsBadGeometry) {
+  Grid2D<float> in(64, 64), out(64, 64);
+  std::vector<float> w(9);
+  EXPECT_THROW(core::conv2d_ssam<float>(sim::tesla_v100(), in.cview(), w, 3, 4,
+                                        out.view()),
+               PreconditionError);  // weight count mismatch
+  std::vector<float> wide(static_cast<std::size_t>(33) * 1);
+  EXPECT_THROW(core::conv2d_ssam<float>(sim::tesla_v100(), in.cview(), wide, 33, 1,
+                                        out.view()),
+               PreconditionError);  // filter wider than a warp
+}
+
+TEST(Preconditions, Stencil3DRejectsShallowBlocks) {
+  const auto shape = core::suite_stencil<float>("3d13pt");  // rz = 2
+  Grid3D<float> in(32, 8, 8), out(32, 8, 8);
+  core::Stencil3DOptions opt;
+  opt.warps = 4;  // needs > 2*rz = 4
+  EXPECT_THROW(core::stencil3d_ssam<float>(sim::tesla_v100(), in.cview(), shape,
+                                           out.view(), opt),
+               PreconditionError);
+}
+
+TEST(Preconditions, ScanRejectsMismatchedExtents) {
+  std::vector<float> in(10), out(11);
+  EXPECT_THROW(core::scan_inclusive<float>(sim::tesla_v100(), in, out),
+               PreconditionError);
+}
+
+TEST(Preconditions, EmptyPlanRejected) {
+  std::vector<ref::Tap<float>> empty;
+  EXPECT_THROW((void)core::build_plan(empty), PreconditionError);
+}
+
+TEST(Preconditions, BlockSizeMustBeWarpMultiple) {
+  const auto& arch = sim::tesla_v100();
+  sim::LaunchConfig cfg{.grid = Dim3{1, 1, 1}, .block_threads = 100,
+                        .regs_per_thread = 32};
+  EXPECT_THROW(sim::launch(arch, cfg, [](sim::BlockContext&) {},
+                           sim::ExecMode::kFunctional),
+               PreconditionError);
+}
+
+}  // namespace

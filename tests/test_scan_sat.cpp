@@ -1,0 +1,109 @@
+// Scan and Summed Area Table kernels vs references, plus invariant checks.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/sat.hpp"
+#include "core/scan.hpp"
+#include "gpusim/arch.hpp"
+#include "reference/scan.hpp"
+
+namespace {
+
+using namespace ssam;
+
+TEST(WarpScan, MatchesSerialPrefixOn32Lanes) {
+  const auto& arch = sim::tesla_v100();
+  sim::LaunchConfig cfg{.grid = Dim3{1, 1, 1}, .block_threads = 32, .regs_per_thread = 16};
+  sim::MemorySystem mem(arch);
+  sim::BlockContext blk(arch, cfg, BlockId{}, &mem, true);
+  sim::WarpContext& wc = blk.warp(0);
+  sim::Reg<float> v = wc.iota(1.0f, 1.0f);  // 1..32
+  const sim::Reg<float> s = core::warp_inclusive_scan(wc, v);
+  for (int l = 0; l < 32; ++l) {
+    const float want = static_cast<float>((l + 1) * (l + 2) / 2);
+    EXPECT_FLOAT_EQ(s[l], want) << "lane " << l;
+  }
+  // Kogge-Stone: exactly 5 shuffle stages for a 32-lane warp (Figure 1e).
+  EXPECT_EQ(blk.counters().shfl_ops, 5u);
+}
+
+class ScanSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanSizes, MatchesReference) {
+  const int n = GetParam();
+  std::vector<float> in(static_cast<std::size_t>(n));
+  fill_random(in, 5, -1.0, 1.0);
+  std::vector<float> got(in.size()), want(in.size());
+  core::scan_inclusive<float>(sim::tesla_p100(), in, got);
+  ref::inclusive_scan<float>(in, want);
+  EXPECT_LE(normalized_max_diff<float>(got, want), verify_tolerance<float>(in.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(1, 31, 32, 33, 255, 256, 257, 1000, 4096, 65537,
+                                           1 << 18));
+
+TEST(Scan, PropertyLastElementIsTotal) {
+  std::vector<double> in(10007);
+  fill_random(in, 17, 0.0, 2.0);
+  std::vector<double> got(in.size());
+  core::scan_inclusive<double>(sim::tesla_v100(), in, got);
+  const double total = std::accumulate(in.begin(), in.end(), 0.0);
+  EXPECT_NEAR(got.back(), total, 1e-9 * in.size());
+}
+
+TEST(Scan, PropertyMonotoneForPositiveInput) {
+  std::vector<float> in(5000);
+  fill_random(in, 23, 0.01, 1.0);
+  std::vector<float> got(in.size());
+  core::scan_inclusive<float>(sim::tesla_v100(), in, got);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    ASSERT_GE(got[i], got[i - 1]) << "at " << i;
+  }
+}
+
+template <typename T>
+void check_sat(Index width, Index height) {
+  Grid2D<T> in(width, height);
+  fill_random(in, 31, -1.0, 1.0);
+  Grid2D<T> got(width, height), want(width, height);
+  core::summed_area_table<T>(sim::tesla_v100(), in.cview(), got.view());
+  ref::summed_area_table<T>(in.cview(), want.view());
+  EXPECT_LE(normalized_max_diff<T>({got.data(), static_cast<std::size_t>(got.size())},
+                                   {want.data(), static_cast<std::size_t>(want.size())}),
+            verify_tolerance<T>(static_cast<std::size_t>(width * height)));
+}
+
+TEST(Sat, SmallSquare) { check_sat<float>(64, 64); }
+TEST(Sat, NonDivisible) { check_sat<float>(97, 41); }
+TEST(Sat, WideShort) { check_sat<double>(300, 5); }
+TEST(Sat, NarrowTall) { check_sat<double>(5, 300); }
+
+TEST(Sat, RectangleSumIdentity) {
+  // Property: any rectangle sum from the SAT equals the direct sum.
+  const Index width = 83, height = 57;
+  Grid2D<double> in(width, height);
+  fill_random(in, 37, 0.0, 1.0);
+  Grid2D<double> sat(width, height);
+  core::summed_area_table<double>(sim::tesla_p100(), in.cview(), sat.view());
+  SplitMix64 rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    Index x0 = static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(width)));
+    Index x1 = static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(width)));
+    Index y0 = static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(height)));
+    Index y1 = static_cast<Index>(rng.next_below(static_cast<std::uint64_t>(height)));
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    double direct = 0;
+    for (Index y = y0; y <= y1; ++y) {
+      for (Index x = x0; x <= x1; ++x) direct += in.at(x, y);
+    }
+    const double from_sat = ref::sat_rect_sum<double>(sat.cview(), x0, y0, x1, y1);
+    ASSERT_NEAR(from_sat, direct, 1e-7 * static_cast<double>(width * height));
+  }
+}
+
+}  // namespace

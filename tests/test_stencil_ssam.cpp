@@ -1,0 +1,131 @@
+// SSAM 2D/3D stencils vs the scalar reference across the whole Table 3 suite.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/stencil2d.hpp"
+#include "core/stencil3d.hpp"
+#include "core/stencil_suite.hpp"
+#include "gpusim/arch.hpp"
+#include "reference/stencil.hpp"
+
+namespace {
+
+using namespace ssam;
+
+template <typename T>
+void check_stencil2d(const core::StencilShape<T>& shape, Index width, Index height,
+                     core::StencilOptions opt = {}) {
+  Grid2D<T> in(width, height);
+  fill_random(in, 11);
+  Grid2D<T> got(width, height, T{-99});
+  Grid2D<T> want(width, height);
+  core::stencil2d_ssam<T>(sim::tesla_v100(), in.cview(), shape, got.view(), opt);
+  ref::stencil2d<T>(in.cview(), shape.taps, want.view());
+  const double tol = verify_tolerance<T>(shape.taps.size());
+  EXPECT_LE(normalized_max_diff<T>({got.data(), static_cast<std::size_t>(got.size())},
+                                   {want.data(), static_cast<std::size_t>(want.size())}),
+            tol)
+      << shape.name << " " << width << "x" << height;
+}
+
+template <typename T>
+void check_stencil3d(const core::StencilShape<T>& shape, Index nx, Index ny, Index nz,
+                     core::Stencil3DOptions opt = {}) {
+  Grid3D<T> in(nx, ny, nz);
+  fill_random(in, 13);
+  Grid3D<T> got(nx, ny, nz, T{-99});
+  Grid3D<T> want(nx, ny, nz);
+  core::stencil3d_ssam<T>(sim::tesla_v100(), in.cview(), shape, got.view(), opt);
+  ref::stencil3d<T>(in.cview(), shape.taps, want.view());
+  const double tol = verify_tolerance<T>(shape.taps.size());
+  EXPECT_LE(normalized_max_diff<T>({got.data(), static_cast<std::size_t>(got.size())},
+                                   {want.data(), static_cast<std::size_t>(want.size())}),
+            tol)
+      << shape.name << " " << nx << "x" << ny << "x" << nz;
+}
+
+class Suite2D : public ::testing::TestWithParam<std::string> {};
+class Suite3D : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Suite2D, MatchesReferenceFloat) {
+  check_stencil2d<float>(core::suite_stencil<float>(GetParam()), 96, 72);
+}
+TEST_P(Suite2D, MatchesReferenceDouble) {
+  check_stencil2d<double>(core::suite_stencil<double>(GetParam()), 96, 72);
+}
+TEST_P(Suite2D, NonDivisibleDomain) {
+  check_stencil2d<float>(core::suite_stencil<float>(GetParam()), 83, 61);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, Suite2D,
+                         ::testing::Values("2d5pt", "2d9pt", "2d13pt", "2d17pt", "2d21pt",
+                                           "2ds25pt", "2d25pt", "2d64pt", "2d81pt",
+                                           "2d121pt"),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(Suite3D, MatchesReferenceFloat) {
+  check_stencil3d<float>(core::suite_stencil<float>(GetParam()), 64, 24, 20);
+}
+TEST_P(Suite3D, MatchesReferenceDouble) {
+  check_stencil3d<double>(core::suite_stencil<double>(GetParam()), 64, 24, 20);
+}
+TEST_P(Suite3D, NonDivisibleDomain) {
+  check_stencil3d<float>(core::suite_stencil<float>(GetParam()), 45, 19, 13);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, Suite3D,
+                         ::testing::Values("3d7pt", "3d13pt", "3d27pt", "3d125pt", "poisson"),
+                         [](const auto& info) { return info.param; });
+
+TEST(StencilSsam, TinyDomains) {
+  check_stencil2d<float>(core::suite_stencil<float>("2d5pt"), 7, 5);
+  check_stencil3d<float>(core::suite_stencil<float>("3d7pt"), 9, 5, 4);
+}
+
+TEST(StencilSsam, WindowSizes) {
+  for (int p : {1, 2, 4, 8}) {
+    core::StencilOptions opt;
+    opt.p = p;
+    check_stencil2d<float>(core::suite_stencil<float>("2d9pt"), 64, 48, opt);
+  }
+  for (int warps : {4, 8, 16}) {
+    core::Stencil3DOptions opt;
+    opt.warps = warps;
+    check_stencil3d<float>(core::suite_stencil<float>("3d7pt"), 48, 16, 24, opt);
+  }
+}
+
+TEST(StencilSuite, HasFifteenEntriesWithTable3Metadata) {
+  auto suite = core::stencil_suite<float>();
+  ASSERT_EQ(suite.size(), 15u);
+  // Spot checks straight from Table 3.
+  EXPECT_EQ(suite[0].name, "2d5pt");
+  EXPECT_EQ(suite[0].order, 1);
+  EXPECT_EQ(suite[0].fpp_paper, 9);
+  EXPECT_EQ(suite[0].fpp_measured(), 9);
+  EXPECT_EQ(suite[5].name, "2ds25pt");
+  EXPECT_EQ(suite[5].order, 6);
+  EXPECT_EQ(suite[5].taps.size(), 25u);
+  EXPECT_EQ(suite[13].name, "3d125pt");
+  EXPECT_EQ(suite[13].taps.size(), 125u);
+  EXPECT_EQ(suite[14].name, "poisson");
+  EXPECT_EQ(suite[14].taps.size(), 19u);
+}
+
+TEST(SystolicPlan, MinimalShiftsForStarVsBox) {
+  auto star = core::build_plan(core::star2d<float>(4).taps);
+  auto box = core::build_plan(core::box2d<float>(9, 9).taps);
+  // Same radius: both sweep the full column range in 2D.
+  EXPECT_EQ(star.horizontal_shifts(), 8);
+  EXPECT_EQ(box.horizontal_shifts(), 8);
+  // 3D star: off-plane passes are single-column, so a minimal plan shifts
+  // only in the dz=0 pass; a dense plan shifts everywhere (Section 5.4).
+  auto star3_min = core::build_plan(core::star3d<float>(1).taps);
+  auto star3_dense = core::build_plan(core::star3d<float>(1).taps, /*dense=*/true);
+  EXPECT_EQ(star3_min.horizontal_shifts(), 2);
+  EXPECT_EQ(star3_dense.horizontal_shifts(), 6);
+  EXPECT_LT(star3_min.horizontal_shifts(), star3_dense.horizontal_shifts());
+}
+
+}  // namespace
