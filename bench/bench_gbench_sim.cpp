@@ -20,7 +20,7 @@ void BM_WarpMadChain(benchmark::State& state) {
                               .regs_per_thread = 32};
   sim::MemorySystem mem(arch);
   for (auto _ : state) {
-    sim::BlockContext blk(arch, cfg, BlockId{}, &mem, true);
+    sim::BlockContext blk(arch, cfg, BlockId{}, &mem);
     sim::WarpContext& w = blk.warp(0);
     sim::Reg<float> v = w.uniform(1.0f);
     for (int i = 0; i < 1024; ++i) v = w.mad(v, 0.999f, v);
@@ -36,7 +36,7 @@ void BM_WarpShuffle(benchmark::State& state) {
                               .regs_per_thread = 32};
   sim::MemorySystem mem(arch);
   for (auto _ : state) {
-    sim::BlockContext blk(arch, cfg, BlockId{}, &mem, true);
+    sim::BlockContext blk(arch, cfg, BlockId{}, &mem);
     sim::WarpContext& w = blk.warp(0);
     sim::Reg<float> v = w.iota(0.0f, 1.0f);
     for (int i = 0; i < 1024; ++i) v = w.shfl_up(sim::kFullMask, v, 1);

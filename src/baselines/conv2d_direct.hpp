@@ -60,9 +60,9 @@ KernelStats conv2d_direct(const sim::ArchSpec& arch, const GridView2D<const T>& 
   cfg.regs_per_thread = conv2d_direct_regs(m, n);
 
   const T* wgt = weights.data();
-  auto body = [&, m, n, cx, cy, width, height, warps, dedicated, wgt](BlockContext& blk) {
+  auto body = [&, m, n, cx, cy, width, height, warps, dedicated, wgt](auto& blk) {
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index oy = static_cast<Index>(blk.id().y) * warps + w;
       if (oy >= height) continue;
       const Index x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
@@ -76,10 +76,10 @@ KernelStats conv2d_direct(const sim::ArchSpec& arch, const GridView2D<const T>& 
           // Unrolled dedicated kernel: one clamped row base per filter row,
           // immediate weights, taps addressed by constant offsets.
           const Reg<Index> gx0 =
-              wc.clamp(wc.iota<Index>(x0 - cx, 1), Index{0}, width - 1);
+              wc.clamp(wc.template iota<Index>(x0 - cx, 1), Index{0}, width - 1);
           for (int fm = 0; fm < m; ++fm) {
             Reg<Index> gx = fm == 0 ? gx0
-                                    : wc.clamp(wc.iota<Index>(x0 - cx + fm, 1), Index{0},
+                                    : wc.clamp(wc.template iota<Index>(x0 - cx + fm, 1), Index{0},
                                                width - 1);
             const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
             const Reg<T> dv = wc.load_global(in.data(), gidx);
@@ -92,16 +92,16 @@ KernelStats conv2d_direct(const sim::ArchSpec& arch, const GridView2D<const T>& 
             // per tap, and the weight through the read-only cache.
             wc.charge_alu(2);
             const Reg<Index> gx =
-                wc.clamp(wc.iota<Index>(x0 + fm - cx, 1), Index{0}, width - 1);
+                wc.clamp(wc.template iota<Index>(x0 + fm - cx, 1), Index{0}, width - 1);
             const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
             const Reg<T> dv = wc.load_global(in.data(), gidx);
             const Reg<T> wv =
-                wc.load_global(wgt, wc.uniform<Index>(fn * m + fm));
+                wc.load_global(wgt, wc.template uniform<Index>(fn * m + fm));
             acc = wc.mad(dv, wv, acc);
           }
         }
       }
-      const Reg<Index> ox = wc.iota<Index>(x0, 1);
+      const Reg<Index> ox = wc.template iota<Index>(x0, 1);
       Pred ok = wc.cmp_lt(ox, width);
       const Reg<Index> oidx = wc.affine(ox, 1, oy * out.pitch());
       wc.store_global(out.data(), oidx, acc, &ok);

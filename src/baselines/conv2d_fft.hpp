@@ -106,13 +106,13 @@ core::RunResult conv2d_fft_time(const sim::ArchSpec& arch, Index width, Index he
                                             pairs_per_block)),
                   1, 1};
 
-  auto pass_body = [&, raw, raw_n](BlockContext& blk) {
+  auto pass_body = [&, raw, raw_n](auto& blk) {
     for (int w = 0; w < blk.warp_count(); ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index base =
           (static_cast<Index>(blk.id().x) * blk.warp_count() + w) * sim::kWarpSize;
       // Stockham-style pass: both streams unit-stride within their half.
-      const Reg<Index> i0 = wc.affine(wc.iota<Index>(0, 1), 4, (base * 4) % (raw_n / 2));
+      const Reg<Index> i0 = wc.affine(wc.template iota<Index>(0, 1), 4, (base * 4) % (raw_n / 2));
       const Reg<Index> i1 = wc.affine(i0, 1, raw_n / 2);
       Reg<T> ar = wc.load_global(raw, i0);
       Reg<T> ai = wc.load_global(raw, wc.affine(i0, 1, 1));

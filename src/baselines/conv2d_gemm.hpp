@@ -55,7 +55,7 @@ KernelStats conv2d_gemm(const sim::ArchSpec& arch, const GridView2D<const T>& in
   cfg.regs_per_thread = conv2d_gemm_regs();
 
   const T* wgt = weights.data();
-  auto body = [&, m, n, cx, cy, width, height, warps, tile_h, wgt](BlockContext& blk) {
+  auto body = [&, m, n, cx, cy, width, height, warps, tile_h, wgt](auto& blk) {
     TileGeom2D g;
     g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
     g.y0 = static_cast<Index>(blk.id().y) * (2 * tile_h);
@@ -66,14 +66,14 @@ KernelStats conv2d_gemm(const sim::ArchSpec& arch, const GridView2D<const T>& in
     g.halo_y_lo = cy;
     g.halo_y_hi = n - 1 - cy;
 
-    Smem<T> tile = blk.alloc_smem<T>(g.elems());
-    Smem<T> wsm = blk.alloc_smem<T>(m * n);
+    Smem<T> tile = blk.template alloc_smem<T>(g.elems());
+    Smem<T> wsm = blk.template alloc_smem<T>(m * n);
     core::cooperative_load_to_smem(blk, wgt, wsm, m * n);
     load_tile_2d(blk, in, g, tile);
 
     const int pw = g.padded_w();
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       // 2x2 register tile: the M(gemm) dimension holds two output rows; the
       // N(gemm) dimension is 1 for single-filter convolution, so the second
       // N column (accP0/accP1) is tile padding — computed, never stored.
@@ -102,7 +102,7 @@ KernelStats conv2d_gemm(const sim::ArchSpec& arch, const GridView2D<const T>& in
       auto store_row = [&](int ty, const Reg<T>& a) {
         const Index oy = g.y0 + ty;
         if (oy >= height) return;
-        const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+        const Reg<Index> ox = wc.template iota<Index>(g.x0, 1);
         Pred ok = wc.cmp_lt(ox, width);
         wc.store_global(out.data(), wc.affine(ox, 1, oy * out.pitch()), a, &ok);
       };

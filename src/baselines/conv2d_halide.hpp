@@ -41,6 +41,7 @@ KernelStats conv2d_halide(const sim::ArchSpec& arch, const GridView2D<const T>& 
   const Index height = in.height();
   const int warps = opt.block_threads / sim::kWarpSize;
   const int uy = opt.unroll_y;
+  SSAM_REQUIRE(uy >= 1 && uy <= 8, "unroll_y exceeds the inline accumulator bound");
 
   sim::LaunchConfig cfg;
   cfg.grid = Dim3{static_cast<int>(ceil_div(width, sim::kWarpSize)),
@@ -49,16 +50,16 @@ KernelStats conv2d_halide(const sim::ArchSpec& arch, const GridView2D<const T>& 
   cfg.regs_per_thread = conv2d_halide_regs(uy);
 
   const T* wgt = weights.data();
-  auto body = [&, m, n, cx, cy, width, height, warps, uy, wgt](BlockContext& blk) {
+  auto body = [&, m, n, cx, cy, width, height, warps, uy, wgt](auto& blk) {
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index oy0 =
           (static_cast<Index>(blk.id().y) * warps + w) * uy;
       const Index x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
       if (oy0 >= height || x0 >= width) continue;
 
-      std::vector<Reg<T>> acc(static_cast<std::size_t>(uy));
-      for (int u = 0; u < uy; ++u) acc[static_cast<std::size_t>(u)] = wc.uniform(T{});
+      InlineVec<Reg<T>, 8> acc(uy);
+      for (int u = 0; u < uy; ++u) acc[u] = wc.uniform(T{});
 
       // Rows oy0-cy .. oy0+uy-1+n-1-cy: loaded once, reused by the unrolled
       // outputs that touch them (Halide's y-fused loop nest).
@@ -69,25 +70,25 @@ KernelStats conv2d_halide(const sim::ArchSpec& arch, const GridView2D<const T>& 
           // Runtime loop nest + boundary lambda evaluation per tap.
           wc.charge_alu(2);
           const Reg<Index> gx =
-              wc.clamp(wc.iota<Index>(x0 + fm - cx, 1), Index{0}, width - 1);
+              wc.clamp(wc.template iota<Index>(x0 + fm - cx, 1), Index{0}, width - 1);
           const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
           const Reg<T> dv = wc.load_global(in.data(), gidx);
           for (int u = 0; u < uy; ++u) {
             const int tap_n = fn - u;
             if (tap_n < 0 || tap_n >= n) continue;
-            const Reg<T> wv = wc.load_global(wgt, wc.uniform<Index>(tap_n * m + fm));
-            acc[static_cast<std::size_t>(u)] =
-                wc.mad(dv, wv, acc[static_cast<std::size_t>(u)]);
+            const Reg<T> wv = wc.load_global(wgt, wc.template uniform<Index>(tap_n * m + fm));
+            acc[u] =
+                wc.mad(dv, wv, acc[u]);
           }
         }
       }
-      const Reg<Index> ox = wc.iota<Index>(x0, 1);
+      const Reg<Index> ox = wc.template iota<Index>(x0, 1);
       Pred ok = wc.cmp_lt(ox, width);
       for (int u = 0; u < uy; ++u) {
         const Index oy = oy0 + u;
         if (oy >= height) break;
         const Reg<Index> oidx = wc.affine(ox, 1, oy * out.pitch());
-        wc.store_global(out.data(), oidx, acc[static_cast<std::size_t>(u)], &ok);
+        wc.store_global(out.data(), oidx, acc[u], &ok);
       }
     }
   };

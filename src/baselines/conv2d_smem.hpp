@@ -54,7 +54,7 @@ KernelStats conv2d_smem(const sim::ArchSpec& arch, const GridView2D<const T>& in
   cfg.regs_per_thread = conv2d_smem_regs();
 
   const T* wgt = weights.data();
-  auto body = [&, m, n, cx, cy, width, height, warps, rows_per_warp, wgt](BlockContext& blk) {
+  auto body = [&, m, n, cx, cy, width, height, warps, rows_per_warp, wgt](auto& blk) {
     TileGeom2D g;
     g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
     g.y0 = static_cast<Index>(blk.id().y) * (rows_per_warp * warps);
@@ -65,14 +65,14 @@ KernelStats conv2d_smem(const sim::ArchSpec& arch, const GridView2D<const T>& in
     g.halo_y_lo = cy;
     g.halo_y_hi = n - 1 - cy;
 
-    Smem<T> tile = blk.alloc_smem<T>(g.elems());
-    Smem<T> wsm = blk.alloc_smem<T>(m * n);  // stands in for the constant cache
+    Smem<T> tile = blk.template alloc_smem<T>(g.elems());
+    Smem<T> wsm = blk.template alloc_smem<T>(m * n);  // stands in for the constant cache
     core::cooperative_load_to_smem(blk, wgt, wsm, m * n);
     load_tile_2d(blk, in, g, tile);
 
     const int pw = g.padded_w();
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       for (int r = 0; r < rows_per_warp; ++r) {
         const int ty = w * rows_per_warp + r;
         const Index oy = g.y0 + ty;
@@ -88,7 +88,7 @@ KernelStats conv2d_smem(const sim::ArchSpec& arch, const GridView2D<const T>& in
             acc = wc.mad(dv, wv, acc);
           }
         }
-        const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+        const Reg<Index> ox = wc.template iota<Index>(g.x0, 1);
         Pred ok = wc.cmp_lt(ox, width);
         const Reg<Index> oidx = wc.affine(ox, 1, oy * out.pitch());
         wc.store_global(out.data(), oidx, acc, &ok);

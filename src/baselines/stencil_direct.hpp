@@ -93,17 +93,20 @@ KernelStats stencil2d_direct(const sim::ArchSpec& arch, const GridView2D<const T
     dy_min = std::min(dy_min, t.dy);
     dy_max = std::max(dy_max, t.dy);
   }
+  SSAM_REQUIRE(uy >= 1 && uy <= 8, "unroll exceeds the inline accumulator bound");
+  SSAM_REQUIRE(dy_max - dy_min + uy <= 48,
+               "stencil row span exceeds the inline row-cache bound");
 
   auto body = [&, width, height, warps, uy, pol, dx_min, dx_max, dy_min,
-               dy_max](BlockContext& blk) {
+               dy_max](auto& blk) {
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index oy0 = (static_cast<Index>(blk.id().y) * warps + w) * uy;
       const Index x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
       if (oy0 >= height || x0 >= width) continue;
 
-      std::vector<Reg<T>> acc(static_cast<std::size_t>(uy));
-      for (int u = 0; u < uy; ++u) acc[static_cast<std::size_t>(u)] = wc.uniform(T{});
+      InlineVec<Reg<T>, 8> acc(uy);
+      for (int u = 0; u < uy; ++u) acc[u] = wc.uniform(T{});
 
       if (uy == 1) {
         // original / reordered: straight per-tap loads.
@@ -111,7 +114,7 @@ KernelStats stencil2d_direct(const sim::ArchSpec& arch, const GridView2D<const T
           Index y = oy0 + tap.dy;
           y = y < 0 ? 0 : (y >= height ? height - 1 : y);
           const Reg<Index> gx =
-              wc.clamp(wc.iota<Index>(x0 + tap.dx, 1), Index{0}, width - 1);
+              wc.clamp(wc.template iota<Index>(x0 + tap.dx, 1), Index{0}, width - 1);
           const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
           const Reg<T> dv = wc.load_global(in.data(), gidx);
           acc[0] = wc.mad(dv, tap.coeff, acc[0]);
@@ -123,32 +126,32 @@ KernelStats stencil2d_direct(const sim::ArchSpec& arch, const GridView2D<const T
           bool column_used = false;
           for (const auto& tap : shape.taps) column_used |= (tap.dx == dx);
           if (!column_used) continue;
-          std::vector<Reg<T>> rows(static_cast<std::size_t>(dy_max - dy_min + uy));
-          const Reg<Index> gx = wc.clamp(wc.iota<Index>(x0 + dx, 1), Index{0}, width - 1);
+          InlineVec<Reg<T>, 48> rows(dy_max - dy_min + uy);
+          const Reg<Index> gx = wc.clamp(wc.template iota<Index>(x0 + dx, 1), Index{0}, width - 1);
           for (int r = 0; r < static_cast<int>(rows.size()); ++r) {
             Index y = oy0 + dy_min + r;
             y = y < 0 ? 0 : (y >= height ? height - 1 : y);
             const Reg<Index> gidx = wc.affine(gx, 1, y * in.pitch());
-            rows[static_cast<std::size_t>(r)] = wc.load_global(in.data(), gidx);
+            rows[r] = wc.load_global(in.data(), gidx);
           }
           for (const auto& tap : shape.taps) {
             if (tap.dx != dx) continue;
             for (int u = 0; u < uy; ++u) {
-              acc[static_cast<std::size_t>(u)] =
-                  wc.mad(rows[static_cast<std::size_t>(tap.dy - dy_min + u)], tap.coeff,
-                         acc[static_cast<std::size_t>(u)]);
+              acc[u] =
+                  wc.mad(rows[tap.dy - dy_min + u], tap.coeff,
+                         acc[u]);
             }
           }
         }
       }
 
-      const Reg<Index> ox = wc.iota<Index>(x0, 1);
+      const Reg<Index> ox = wc.template iota<Index>(x0, 1);
       Pred ok = wc.cmp_lt(ox, width);
       for (int u = 0; u < uy; ++u) {
         const Index oy = oy0 + u;
         if (oy >= height) break;
         const Reg<Index> oidx = wc.affine(ox, 1, oy * out.pitch());
-        wc.store_global(out.data(), oidx, acc[static_cast<std::size_t>(u)], &ok);
+        wc.store_global(out.data(), oidx, acc[u], &ok);
       }
     }
   };
@@ -176,39 +179,40 @@ KernelStats stencil3d_direct(const sim::ArchSpec& arch, const GridView3D<const T
                   static_cast<int>(nz)};
   cfg.block_threads = kBlockThreads;
   cfg.regs_per_thread = stencil_direct_regs(style, static_cast<int>(shape.taps.size())) + 6;
+  SSAM_REQUIRE(uy >= 1 && uy <= 8, "unroll exceeds the inline accumulator bound");
 
-  auto body = [&, nx, ny, nz, warps, uy](BlockContext& blk) {
+  auto body = [&, nx, ny, nz, warps, uy](auto& blk) {
     const Index z = blk.id().z;
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index oy0 = (static_cast<Index>(blk.id().y) * warps + w) * uy;
       const Index x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
       if (oy0 >= ny || x0 >= nx) continue;
 
-      std::vector<Reg<T>> acc(static_cast<std::size_t>(uy));
-      for (int u = 0; u < uy; ++u) acc[static_cast<std::size_t>(u)] = wc.uniform(T{});
+      InlineVec<Reg<T>, 8> acc(uy);
+      for (int u = 0; u < uy; ++u) acc[u] = wc.uniform(T{});
 
       for (const auto& tap : shape.taps) {
         Index zz = z + tap.dz;
         zz = zz < 0 ? 0 : (zz >= nz ? nz - 1 : zz);
-        const Reg<Index> gx = wc.clamp(wc.iota<Index>(x0 + tap.dx, 1), Index{0}, nx - 1);
+        const Reg<Index> gx = wc.clamp(wc.template iota<Index>(x0 + tap.dx, 1), Index{0}, nx - 1);
         for (int u = 0; u < uy; ++u) {
           Index y = oy0 + u + tap.dy;
           y = y < 0 ? 0 : (y >= ny ? ny - 1 : y);
           const Reg<Index> gidx = wc.affine(gx, 1, (zz * ny + y) * nx);
           const Reg<T> dv = wc.load_global(in.data(), gidx);
-          acc[static_cast<std::size_t>(u)] =
-              wc.mad(dv, tap.coeff, acc[static_cast<std::size_t>(u)]);
+          acc[u] =
+              wc.mad(dv, tap.coeff, acc[u]);
         }
       }
 
-      const Reg<Index> ox = wc.iota<Index>(x0, 1);
+      const Reg<Index> ox = wc.template iota<Index>(x0, 1);
       Pred ok = wc.cmp_lt(ox, nx);
       for (int u = 0; u < uy; ++u) {
         const Index oy = oy0 + u;
         if (oy >= ny) break;
         const Reg<Index> oidx = wc.affine(ox, 1, (z * ny + oy) * nx);
-        wc.store_global(out.data(), oidx, acc[static_cast<std::size_t>(u)], &ok);
+        wc.store_global(out.data(), oidx, acc[u], &ok);
       }
     }
   };

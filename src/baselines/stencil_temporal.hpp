@@ -56,7 +56,7 @@ KernelStats stencil2d_temporal_smem(const sim::ArchSpec& arch,
   cfg.block_threads = kBlockThreads;
   cfg.regs_per_thread = stencil_temporal_regs();
 
-  auto body = [&, width, height, warps, tile_h, rx, ry, t](BlockContext& blk) {
+  auto body = [&, width, height, warps, tile_h, rx, ry, t](auto& blk) {
     TileGeom2D g;
     g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
     g.y0 = static_cast<Index>(blk.id().y) * tile_h;
@@ -66,8 +66,8 @@ KernelStats stencil2d_temporal_smem(const sim::ArchSpec& arch,
     g.halo_y_lo = g.halo_y_hi = t * ry;
     const int pw = g.padded_w();
     const int ph = g.padded_h();
-    Smem<T> buf_a = blk.alloc_smem<T>(pw * ph);
-    Smem<T> buf_b = blk.alloc_smem<T>(pw * ph);
+    Smem<T> buf_a = blk.template alloc_smem<T>(pw * ph);
+    Smem<T> buf_b = blk.template alloc_smem<T>(pw * ph);
     load_tile_2d(blk, in, g, buf_a);
 
     Smem<T>* src = &buf_a;
@@ -82,9 +82,9 @@ KernelStats stencil2d_temporal_smem(const sim::ArchSpec& arch,
       // Compute rows of the shrunk region, block-striped over warps.
       for (int row = 0; row < yh; ++row) {
         const int w = row % warps;
-        WarpContext& wc = blk.warp(w);
+        auto& wc = blk.warp(w);
         for (int cx = 0; cx < xw; cx += sim::kWarpSize) {
-          Pred active = wc.cmp_lt(wc.iota<int>(cx, 1), xw);
+          Pred active = wc.cmp_lt(wc.template iota<int>(cx, 1), xw);
           Reg<T> acc = wc.uniform(T{});
           for (const auto& tap : shape.taps) {
             const int si = (y_start + row + tap.dy) * pw + x_start + cx + tap.dx;
@@ -102,12 +102,12 @@ KernelStats stencil2d_temporal_smem(const sim::ArchSpec& arch,
     // Write the interior tile.
     for (int ty = 0; ty < tile_h; ++ty) {
       const int w = ty % warps;
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index oy = g.y0 + ty;
       if (oy >= height) continue;
       const Reg<T> v =
           wc.load_shared(*src, wc.add(wc.lane_id(), (ty + t * ry) * pw + t * rx));
-      const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+      const Reg<Index> ox = wc.template iota<Index>(g.x0, 1);
       Pred ok = wc.cmp_lt(ox, width);
       wc.store_global(out.data(), wc.affine(ox, 1, oy * out.pitch()), v, &ok);
     }
@@ -143,7 +143,7 @@ KernelStats stencil3d_temporal_smem(const sim::ArchSpec& arch,
   cfg.block_threads = kBlockThreads;
   cfg.regs_per_thread = stencil_temporal_regs();
 
-  auto body = [&, nx, ny, nz, warps, tile_h, tile_d, rx, ry, rz, t](BlockContext& blk) {
+  auto body = [&, nx, ny, nz, warps, tile_h, tile_d, rx, ry, rz, t](auto& blk) {
     TileGeom3D g;
     g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
     g.y0 = static_cast<Index>(blk.id().y) * tile_h;
@@ -157,8 +157,8 @@ KernelStats stencil3d_temporal_smem(const sim::ArchSpec& arch,
     const int pw = g.padded_w();
     const int ph = g.padded_h();
     const int pd = g.padded_d();
-    Smem<T> buf_a = blk.alloc_smem<T>(pw * ph * pd);
-    Smem<T> buf_b = blk.alloc_smem<T>(pw * ph * pd);
+    Smem<T> buf_a = blk.template alloc_smem<T>(pw * ph * pd);
+    Smem<T> buf_b = blk.template alloc_smem<T>(pw * ph * pd);
     load_tile_3d(blk, in, g, buf_a);
 
     Smem<T>* src = &buf_a;
@@ -174,9 +174,9 @@ KernelStats stencil3d_temporal_smem(const sim::ArchSpec& arch,
       for (int zz = 0; zz < zh; ++zz) {
         for (int yy = 0; yy < yh; ++yy, ++idx) {
           const int w = idx % warps;
-          WarpContext& wc = blk.warp(w);
+          auto& wc = blk.warp(w);
           for (int cx = 0; cx < xw; cx += sim::kWarpSize) {
-            Pred active = wc.cmp_lt(wc.iota<int>(cx, 1), xw);
+            Pred active = wc.cmp_lt(wc.template iota<int>(cx, 1), xw);
             Reg<T> acc = wc.uniform(T{});
             for (const auto& tap : shape.taps) {
               const int si =
@@ -199,14 +199,14 @@ KernelStats stencil3d_temporal_smem(const sim::ArchSpec& arch,
     for (int tz = 0; tz < tile_d; ++tz) {
       for (int ty = 0; ty < tile_h; ++ty, ++idx) {
         const int w = idx % warps;
-        WarpContext& wc = blk.warp(w);
+        auto& wc = blk.warp(w);
         const Index oy = g.y0 + ty;
         const Index oz = g.z0 + tz;
         if (oy >= ny || oz >= nz) continue;
         const Reg<T> v = wc.load_shared(
             *src,
             wc.add(wc.lane_id(), ((tz + t * rz) * ph + ty + t * ry) * pw + t * rx));
-        const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+        const Reg<Index> ox = wc.template iota<Index>(g.x0, 1);
         Pred ok = wc.cmp_lt(ox, nx);
         wc.store_global(out.data(), wc.affine(ox, 1, (oz * ny + oy) * nx), v, &ok);
       }

@@ -47,7 +47,7 @@ KernelStats stencil2d_smem_tiled(const sim::ArchSpec& arch, const GridView2D<con
   cfg.block_threads = kBlockThreads;
   cfg.regs_per_thread = stencil_tiled_regs();
 
-  auto body = [&, width, height, warps, tile_h, rows_per_warp, rx, ry](BlockContext& blk) {
+  auto body = [&, width, height, warps, tile_h, rows_per_warp, rx, ry](auto& blk) {
     TileGeom2D g;
     g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
     g.y0 = static_cast<Index>(blk.id().y) * tile_h;
@@ -55,12 +55,12 @@ KernelStats stencil2d_smem_tiled(const sim::ArchSpec& arch, const GridView2D<con
     g.tile_h = tile_h;
     g.halo_x_lo = g.halo_x_hi = rx;
     g.halo_y_lo = g.halo_y_hi = ry;
-    Smem<T> tile = blk.alloc_smem<T>(g.elems());
+    Smem<T> tile = blk.template alloc_smem<T>(g.elems());
     load_tile_2d(blk, in, g, tile);
 
     const int pw = g.padded_w();
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       for (int r = 0; r < rows_per_warp; ++r) {
         const int ty = w * rows_per_warp + r;
         const Index oy = g.y0 + ty;
@@ -72,7 +72,7 @@ KernelStats stencil2d_smem_tiled(const sim::ArchSpec& arch, const GridView2D<con
           const Reg<T> dv = wc.load_shared(tile, sidx);
           acc = wc.mad(dv, tap.coeff, acc);
         }
-        const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+        const Reg<Index> ox = wc.template iota<Index>(g.x0, 1);
         Pred ok = wc.cmp_lt(ox, width);
         wc.store_global(out.data(), wc.affine(ox, 1, oy * out.pitch()), acc, &ok);
       }
@@ -106,7 +106,7 @@ KernelStats stencil3d_smem_tiled(const sim::ArchSpec& arch, const GridView3D<con
   cfg.block_threads = kBlockThreads;
   cfg.regs_per_thread = stencil_tiled_regs() + 6;
 
-  auto body = [&, nx, ny, nz, warps, tile_h, tile_d, rx, ry, rz](BlockContext& blk) {
+  auto body = [&, nx, ny, nz, warps, tile_h, tile_d, rx, ry, rz](auto& blk) {
     TileGeom3D g;
     g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
     g.y0 = static_cast<Index>(blk.id().y) * tile_h;
@@ -117,7 +117,7 @@ KernelStats stencil3d_smem_tiled(const sim::ArchSpec& arch, const GridView3D<con
     g.halo_x = rx;
     g.halo_y = ry;
     g.halo_z = rz;
-    Smem<T> tile = blk.alloc_smem<T>(g.elems());
+    Smem<T> tile = blk.template alloc_smem<T>(g.elems());
     load_tile_3d(blk, in, g, tile);
 
     const int pw = g.padded_w();
@@ -125,7 +125,7 @@ KernelStats stencil3d_smem_tiled(const sim::ArchSpec& arch, const GridView3D<con
     const int cells = tile_h * tile_d;  // (y, z) pairs; one warp row each
     for (int cell = 0; cell < cells; ++cell) {
       const int w = cell % warps;
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const int ty = cell % tile_h;
       const int tz = cell / tile_h;
       const Index oy = g.y0 + ty;
@@ -138,7 +138,7 @@ KernelStats stencil3d_smem_tiled(const sim::ArchSpec& arch, const GridView3D<con
         const Reg<T> dv = wc.load_shared(tile, wc.add(wc.lane_id(), si));
         acc = wc.mad(dv, tap.coeff, acc);
       }
-      const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+      const Reg<Index> ox = wc.template iota<Index>(g.x0, 1);
       Pred ok = wc.cmp_lt(ox, nx);
       wc.store_global(out.data(), wc.affine(ox, 1, (oz * ny + oy) * nx), acc, &ok);
     }
@@ -173,7 +173,7 @@ KernelStats stencil3d_zmarch(const sim::ArchSpec& arch, const GridView3D<const T
   cfg.regs_per_thread = stencil_tiled_regs() + 2 * window;
 
   auto body = [&, nx, ny, nz, warps, tile_h, rows_per_warp, rx, ry, rz,
-               window](BlockContext& blk) {
+               window](auto& blk) {
     TileGeom2D g;
     g.x0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;
     g.y0 = static_cast<Index>(blk.id().y) * tile_h;
@@ -182,7 +182,7 @@ KernelStats stencil3d_zmarch(const sim::ArchSpec& arch, const GridView3D<const T
     g.halo_x_lo = g.halo_x_hi = rx;
     g.halo_y_lo = g.halo_y_hi = ry;
     const int plane_elems = g.elems();
-    Smem<T> planes = blk.alloc_smem<T>(plane_elems * window);
+    Smem<T> planes = blk.template alloc_smem<T>(plane_elems * window);
 
     // Prime the window with planes [-rz, rz] (clamped).
     auto load_plane = [&](Index z, int slot) {
@@ -199,7 +199,7 @@ KernelStats stencil3d_zmarch(const sim::ArchSpec& arch, const GridView3D<const T
     for (Index z = 0; z < nz; ++z) {
       // slot of plane z+dz: (z + dz + rz) mod window.
       for (int w = 0; w < warps; ++w) {
-        WarpContext& wc = blk.warp(w);
+        auto& wc = blk.warp(w);
         for (int r = 0; r < rows_per_warp; ++r) {
           const int ty = w * rows_per_warp + r;
           const Index oy = g.y0 + ty;
@@ -211,7 +211,7 @@ KernelStats stencil3d_zmarch(const sim::ArchSpec& arch, const GridView3D<const T
             const Reg<T> dv = wc.load_shared(planes, wc.add(wc.lane_id(), si));
             acc = wc.mad(dv, tap.coeff, acc);
           }
-          const Reg<Index> ox = wc.iota<Index>(g.x0, 1);
+          const Reg<Index> ox = wc.template iota<Index>(g.x0, 1);
           Pred ok = wc.cmp_lt(ox, nx);
           wc.store_global(out.data(), wc.affine(ox, 1, (z * ny + oy) * nx), acc, &ok);
         }

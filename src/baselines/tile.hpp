@@ -30,24 +30,24 @@ struct TileGeom2D {
 /// Cooperatively loads the padded tile into `dst` with replicate borders.
 /// Each warp strides over padded rows; loads are coalesced per 32-chunk.
 /// Ends with a barrier.
-template <typename T>
-void load_tile_2d(BlockContext& blk, const GridView2D<const T>& in, const TileGeom2D& g,
+template <typename T, typename Block>
+void load_tile_2d(Block& blk, const GridView2D<const T>& in, const TileGeom2D& g,
                   const Smem<T>& dst) {
   const int pw = g.padded_w();
   const int ph = g.padded_h();
   const int warps = blk.warp_count();
   for (int w = 0; w < warps; ++w) {
-    WarpContext& wc = blk.warp(w);
+    auto& wc = blk.warp(w);
     for (int row = w; row < ph; row += warps) {
       const Index y = g.y0 - g.halo_y_lo + row;
       for (int cx = 0; cx < pw; cx += sim::kWarpSize) {
         const Index lane_x0 = g.x0 - g.halo_x_lo + cx;
-        Reg<Index> gx = wc.clamp(wc.iota<Index>(lane_x0, 1), Index{0}, in.width() - 1);
+        Reg<Index> gx = wc.clamp(wc.template iota<Index>(lane_x0, 1), Index{0}, in.width() - 1);
         Index yc = y < 0 ? 0 : (y >= in.height() ? in.height() - 1 : y);
         const Reg<Index> gidx = wc.affine(gx, 1, yc * in.pitch());
-        Pred active = wc.cmp_lt(wc.iota<int>(cx, 1), pw);
+        Pred active = wc.cmp_lt(wc.template iota<int>(cx, 1), pw);
         const Reg<T> v = wc.load_global(in.data(), gidx, &active);
-        const Reg<int> sidx = wc.iota<int>(row * pw + cx, 1);
+        const Reg<int> sidx = wc.template iota<int>(row * pw + cx, 1);
         wc.store_shared(dst, sidx, v, &active);
       }
     }
@@ -67,15 +67,15 @@ struct TileGeom3D {
   [[nodiscard]] int elems() const { return padded_w() * padded_h() * padded_d(); }
 };
 
-template <typename T>
-void load_tile_3d(BlockContext& blk, const GridView3D<const T>& in, const TileGeom3D& g,
+template <typename T, typename Block>
+void load_tile_3d(Block& blk, const GridView3D<const T>& in, const TileGeom3D& g,
                   const Smem<T>& dst) {
   const int pw = g.padded_w();
   const int ph = g.padded_h();
   const int pd = g.padded_d();
   const int warps = blk.warp_count();
   for (int w = 0; w < warps; ++w) {
-    WarpContext& wc = blk.warp(w);
+    auto& wc = blk.warp(w);
     for (int slab = w; slab < ph * pd; slab += warps) {
       const int row = slab % ph;
       const int dep = slab / ph;
@@ -85,11 +85,11 @@ void load_tile_3d(BlockContext& blk, const GridView3D<const T>& in, const TileGe
       z = z < 0 ? 0 : (z >= in.nz() ? in.nz() - 1 : z);
       for (int cx = 0; cx < pw; cx += sim::kWarpSize) {
         Reg<Index> gx =
-            wc.clamp(wc.iota<Index>(g.x0 - g.halo_x + cx, 1), Index{0}, in.nx() - 1);
+            wc.clamp(wc.template iota<Index>(g.x0 - g.halo_x + cx, 1), Index{0}, in.nx() - 1);
         const Reg<Index> gidx = wc.affine(gx, 1, (z * in.ny() + y) * in.nx());
-        Pred active = wc.cmp_lt(wc.iota<int>(cx, 1), pw);
+        Pred active = wc.cmp_lt(wc.template iota<int>(cx, 1), pw);
         const Reg<T> v = wc.load_global(in.data(), gidx, &active);
-        const Reg<int> sidx = wc.iota<int>((dep * ph + row) * pw + cx, 1);
+        const Reg<int> sidx = wc.template iota<int>((dep * ph + row) * pw + cx, 1);
         wc.store_shared(dst, sidx, v, &active);
       }
     }

@@ -1,0 +1,59 @@
+// Fixed-capacity inline vector.
+//
+// Kernels hold per-warp register state (sliding-window accumulators, cached
+// rows, published partial sums) in these instead of std::vector so the
+// functional steady state performs no heap allocation: storage lives on the
+// stack of the executing host thread, exactly like registers live in the
+// register file of the simulated warp.
+#pragma once
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace ssam {
+
+template <typename T, int Capacity>
+class InlineVec {
+  static_assert(Capacity > 0);
+
+ public:
+  InlineVec() = default;
+  explicit InlineVec(int n) { resize(n); }
+
+  void resize(int n) {
+    SSAM_REQUIRE(n >= 0 && n <= Capacity, "InlineVec capacity exceeded");
+    size_ = n;
+  }
+
+  void assign(int n, const T& v) {
+    resize(n);
+    for (int i = 0; i < n; ++i) data_[static_cast<std::size_t>(i)] = v;
+  }
+
+  void push_back(const T& v) {
+    resize(size_ + 1);
+    data_[static_cast<std::size_t>(size_ - 1)] = v;
+  }
+
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] static constexpr int capacity() { return Capacity; }
+
+  [[nodiscard]] T& operator[](int i) { return data_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] const T& operator[](int i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  [[nodiscard]] T* begin() { return data_.data(); }
+  [[nodiscard]] T* end() { return data_.data() + size_; }
+  [[nodiscard]] const T* begin() const { return data_.data(); }
+  [[nodiscard]] const T* end() const { return data_.data() + size_; }
+
+ private:
+  // Deliberately not value-initialized: elements are written before they are
+  // read (resize only adjusts the logical size), so construction costs
+  // nothing — the point of holding register state in an InlineVec.
+  std::array<T, static_cast<std::size_t>(Capacity)> data_;
+  int size_ = 0;
+};
+
+}  // namespace ssam

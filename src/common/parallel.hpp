@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 
 namespace ssam {
 
@@ -17,6 +18,26 @@ void parallel_for(std::int64_t n, Fn&& fn) {
   for (std::int64_t i = 0; i < n; ++i) fn(i);
 #else
   for (std::int64_t i = 0; i < n; ++i) fn(i);
+#endif
+}
+
+/// Chunked parallel loop with one pooled state object per worker thread:
+/// `make_state()` runs once per worker (inside the parallel region), then
+/// `fn(i, state)` is called for every index the worker claims. This is how
+/// the functional simulator reuses one BlockContext per host thread instead
+/// of reconstructing (and re-allocating) it for every block.
+template <typename MakeState, typename Fn>
+void parallel_for_pooled(std::int64_t n, MakeState&& make_state, Fn&& fn) {
+#if defined(SSAM_HAVE_OPENMP)
+#pragma omp parallel
+  {
+    auto state = make_state();
+#pragma omp for schedule(dynamic, 16)
+    for (std::int64_t i = 0; i < n; ++i) fn(i, state);
+  }
+#else
+  auto state = make_state();
+  for (std::int64_t i = 0; i < n; ++i) fn(i, state);
 #endif
 }
 

@@ -35,14 +35,14 @@ KernelStats conv1d_ssam(const sim::ArchSpec& arch, std::span<const T> in,
   const T* src = in.data();
   T* dst = out.data();
   const T* f = filter.data();
-  auto body = [&, n, m, cx, valid, warps, src, dst, f](BlockContext& blk) {
+  auto body = [&, n, m, cx, valid, warps, src, dst, f](auto& blk) {
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const long long warp_linear = static_cast<long long>(blk.id().x) * warps + w;
       const Index base = warp_linear * valid - cx;  // lane 0's input element
       if (base + cx >= n) continue;
       // X: one cached element per lane (register cache of depth 1).
-      const Reg<Index> idx = wc.clamp(wc.iota<Index>(base, 1), Index{0}, n - 1);
+      const Reg<Index> idx = wc.clamp(wc.template iota<Index>(base, 1), Index{0}, n - 1);
       const Reg<T> x = wc.load_global(src, idx);
       // O + D: M MADs with a shift between consecutive filter taps.
       Reg<T> sum = wc.uniform(T{});
@@ -52,7 +52,7 @@ KernelStats conv1d_ssam(const sim::ArchSpec& arch, std::span<const T> in,
       }
       // Y: lanes >= M-1 hold outputs at out_x = base + lane - (M-1) + cx.
       const Reg<Index> out_x =
-          wc.affine(wc.iota<Index>(0, 1), 1, base - (m - 1) + cx);
+          wc.affine(wc.template iota<Index>(0, 1), 1, base - (m - 1) + cx);
       Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), m - 1), wc.cmp_lt(out_x, n));
       wc.store_global(dst, out_x, sum, &ok);
     }

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <span>
-#include <vector>
 
 #include "common/grid.hpp"
 #include "core/kernel_common.hpp"
@@ -45,6 +44,8 @@ KernelStats conv2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in
                         ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
   SSAM_REQUIRE(filter_m >= 1 && filter_n >= 1, "filter extents must be positive");
   SSAM_REQUIRE(filter_m <= sim::kWarpSize, "filter wider than a warp");
+  SSAM_REQUIRE(opt.p >= 1 && opt.p <= kMaxOutputsPerThread,
+               "sliding window length exceeds one warp");
   SSAM_REQUIRE(static_cast<Index>(weights.size()) ==
                    static_cast<Index>(filter_m) * filter_n,
                "weight count mismatch");
@@ -68,13 +69,13 @@ KernelStats conv2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in
   cfg.regs_per_thread = conv2d_ssam_regs(n, opt.p);
 
   const T* wgt = weights.data();
-  auto body = [&, m, n, cx, cy, width, height, geom, wgt](BlockContext& blk) {
+  auto body = [&, m, n, cx, cy, width, height, geom, wgt](auto& blk) {
     // Step 1 (Listing 1 lines 9-12): weights to shared memory.
-    Smem<T> smem = blk.alloc_smem<T>(m * n);
+    Smem<T> smem = blk.template alloc_smem<T>(m * n);
     cooperative_load_to_smem(blk, wgt, smem, m * n);
 
     for (int w = 0; w < blk.warp_count(); ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const long long warp_linear =
           static_cast<long long>(blk.id().x) * geom.warps_per_block() + w;
       const Index col0 = geom.lane0_col(warp_linear);
@@ -82,34 +83,26 @@ KernelStats conv2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in
       const Index row0 = geom.top_row(blk.id().y, cy);
 
       // Step 2 (lines 13-14): register cache fill.
-      RegisterCache<T> rc(wc, geom.c());
+      auto rc = make_register_cache<T>(wc, geom.c());
       rc.load_rows(in, col0, row0);
 
       // Step 3 (lines 16-29): sliding window of P partial-sum sweeps.
-      std::vector<Reg<T>> result(static_cast<std::size_t>(geom.p));
+      InlineVec<Reg<T>, kMaxOutputsPerThread> result(geom.p);
       for (int i = 0; i < geom.p; ++i) {
         Reg<T> sum = wc.uniform(T{});
         for (int fm = 0; fm < m; ++fm) {
           if (fm > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
           for (int fn = 0; fn < n; ++fn) {
-            const Reg<T> wt = wc.load_shared_broadcast(smem, fn * m + fm);
-            sum = wc.mad(rc.row(i + fn), wt, sum);
+            sum = wc.mad_broadcast(rc.row(i + fn), smem, fn * m + fm, sum);
           }
         }
-        result[static_cast<std::size_t>(i)] = sum;
+        result[i] = sum;
       }
 
       // Step 4 (lines 30-31): lanes >= M-1 store valid outputs.
-      const Reg<Index> out_x =
-          wc.affine(wc.iota<Index>(0, 1), 1, col0 - (m - 1) + cx);
-      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), m - 1),
-                            wc.cmp_lt(out_x, width));
-      for (int i = 0; i < geom.p; ++i) {
-        const Index oy = static_cast<Index>(blk.id().y) * geom.p + i;
-        if (oy >= height) break;
-        const Reg<Index> oidx = wc.affine(out_x, 1, oy * out.pitch());
-        wc.store_global(out.data(), oidx, result[static_cast<std::size_t>(i)], &ok);
-      }
+      store_valid_rows(wc, out, col0 - (m - 1) + cx,
+                       static_cast<Index>(blk.id().y) * geom.p, geom.p, m - 1,
+                       [&](int i) -> const Reg<T>& { return result[i]; });
     }
   };
 

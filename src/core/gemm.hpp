@@ -10,8 +10,6 @@
 // with ctrl() selecting the source PE. B rows stream coalesced per k.
 #pragma once
 
-#include <vector>
-
 #include "core/kernel_common.hpp"
 
 namespace ssam::core {
@@ -36,6 +34,8 @@ KernelStats gemm_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& a,
   constexpr int kBlockThreads = 128;
   const int warps = kBlockThreads / sim::kWarpSize;
   const int p = opt.p;
+  SSAM_REQUIRE(p >= 1 && p <= kMaxOutputsPerThread,
+               "accumulator rows per warp exceed the inline bound");
 
   sim::LaunchConfig cfg;
   cfg.grid = Dim3{static_cast<int>(ceil_div(n, sim::kWarpSize)),
@@ -43,45 +43,45 @@ KernelStats gemm_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& a,
   cfg.block_threads = kBlockThreads;
   cfg.regs_per_thread = gemm_ssam_regs(p);
 
-  auto body = [&, m, k, n, warps, p](BlockContext& blk) {
+  auto body = [&, m, k, n, warps, p](auto& blk) {
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index j0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;  // C columns
       const Index i0 = (static_cast<Index>(blk.id().y) * warps + w) * p;  // C rows
       if (j0 >= n || i0 >= m) continue;
-      Pred col_ok = wc.cmp_lt(wc.iota<Index>(j0, 1), n);
+      Pred col_ok = wc.cmp_lt(wc.template iota<Index>(j0, 1), n);
 
-      std::vector<Reg<T>> acc(static_cast<std::size_t>(p));
-      for (int r = 0; r < p; ++r) acc[static_cast<std::size_t>(r)] = wc.uniform(T{});
+      InlineVec<Reg<T>, kMaxOutputsPerThread> acc(p);
+      for (int r = 0; r < p; ++r) acc[r] = wc.uniform(T{});
 
       for (Index kk = 0; kk < k; kk += sim::kWarpSize) {
         const int steps = static_cast<int>(std::min<Index>(sim::kWarpSize, k - kk));
         // One coalesced A load per row of the register tile per 32 k-steps.
-        std::vector<Reg<T>> a_vec(static_cast<std::size_t>(p));
-        Pred k_ok = wc.cmp_lt(wc.iota<Index>(kk, 1), k);
+        InlineVec<Reg<T>, kMaxOutputsPerThread> a_vec(p);
+        Pred k_ok = wc.cmp_lt(wc.template iota<Index>(kk, 1), k);
         for (int r = 0; r < p; ++r) {
           const Index row = std::min<Index>(i0 + r, m - 1);
-          a_vec[static_cast<std::size_t>(r)] =
-              wc.load_global(a.data(), wc.iota<Index>(row * a.pitch() + kk, 1), &k_ok);
+          a_vec[r] =
+              wc.load_global(a.data(), wc.template iota<Index>(row * a.pitch() + kk, 1), &k_ok);
         }
         for (int s = 0; s < steps; ++s) {
           // B(kk+s, j0 + lane): coalesced stream of one B row segment.
           const Reg<T> b_row = wc.load_global(
-              b.data(), wc.iota<Index>((kk + s) * b.pitch() + j0, 1), &col_ok);
+              b.data(), wc.template iota<Index>((kk + s) * b.pitch() + j0, 1), &col_ok);
           for (int r = 0; r < p; ++r) {
             // Systolic broadcast: lane s's cached A value to all lanes.
             const Reg<T> a_bc =
-                wc.shfl_idx(sim::kFullMask, a_vec[static_cast<std::size_t>(r)], s);
-            acc[static_cast<std::size_t>(r)] =
-                wc.mad(b_row, a_bc, acc[static_cast<std::size_t>(r)]);
+                wc.shfl_idx(sim::kFullMask, a_vec[r], s);
+            acc[r] =
+                wc.mad(b_row, a_bc, acc[r]);
           }
         }
       }
       for (int r = 0; r < p; ++r) {
         const Index row = i0 + r;
         if (row >= m) break;
-        wc.store_global(c.data(), wc.iota<Index>(row * c.pitch() + j0, 1),
-                        acc[static_cast<std::size_t>(r)], &col_ok);
+        wc.store_global(c.data(), wc.template iota<Index>(row * c.pitch() + j0, 1),
+                        acc[r], &col_ok);
       }
     }
   };

@@ -33,20 +33,20 @@ std::vector<KernelStats> summed_area_table(const sim::ArchSpec& arch,
     const int warps = cfg.block_threads / sim::kWarpSize;
     cfg.grid = Dim3{static_cast<int>(ceil_div(height, warps)), 1, 1};
     cfg.regs_per_thread = 20;
-    auto body = [&, width, height, warps](BlockContext& blk) {
+    auto body = [&, width, height, warps](auto& blk) {
       for (int w = 0; w < blk.warp_count(); ++w) {
-        WarpContext& wc = blk.warp(w);
+        auto& wc = blk.warp(w);
         const Index y = static_cast<Index>(blk.id().x) * warps + w;
         if (y >= height) continue;
         Reg<T> carry = wc.uniform(T{});
         for (Index x0 = 0; x0 < width; x0 += sim::kWarpSize) {
-          const Reg<Index> idx = wc.iota<Index>(y * in.pitch() + x0, 1);
-          Pred active = wc.cmp_lt(wc.iota<Index>(x0, 1), width);
+          const Reg<Index> idx = wc.template iota<Index>(y * in.pitch() + x0, 1);
+          Pred active = wc.cmp_lt(wc.template iota<Index>(x0, 1), width);
           Reg<T> v = wc.load_global(in.data(), idx, &active);
           v = warp_inclusive_scan(wc, v);
           v = wc.add(v, carry);
           carry = wc.shfl_idx(sim::kFullMask, v, sim::kWarpSize - 1);
-          const Reg<Index> oidx = wc.iota<Index>(y * out.pitch() + x0, 1);
+          const Reg<Index> oidx = wc.template iota<Index>(y * out.pitch() + x0, 1);
           wc.store_global(out.data(), oidx, v, &active);
         }
       }
@@ -60,15 +60,15 @@ std::vector<KernelStats> summed_area_table(const sim::ArchSpec& arch,
     cfg.block_threads = 128;
     cfg.grid = Dim3{static_cast<int>(ceil_div(width, cfg.block_threads)), 1, 1};
     cfg.regs_per_thread = 16;
-    auto body = [&, width, height](BlockContext& blk) {
+    auto body = [&, width, height](auto& blk) {
       for (int w = 0; w < blk.warp_count(); ++w) {
-        WarpContext& wc = blk.warp(w);
+        auto& wc = blk.warp(w);
         const Index x0 = static_cast<Index>(blk.id().x) * 128 + static_cast<Index>(w) * 32;
         if (x0 >= width) continue;
-        Pred active = wc.cmp_lt(wc.iota<Index>(x0, 1), width);
+        Pred active = wc.cmp_lt(wc.template iota<Index>(x0, 1), width);
         Reg<T> acc = wc.uniform(T{});
         for (Index y = 0; y < height; ++y) {
-          const Reg<Index> idx = wc.iota<Index>(y * out.pitch() + x0, 1);
+          const Reg<Index> idx = wc.template iota<Index>(y * out.pitch() + x0, 1);
           Reg<T> v = wc.load_global(out.data(), idx, &active);
           acc = wc.add(acc, v);
           wc.store_global(out.data(), idx, acc, &active);

@@ -15,8 +15,8 @@
 namespace ssam::core {
 
 /// Warp-level inclusive Kogge–Stone scan (Figure 1e, 5 stages for 32 lanes).
-template <typename T>
-[[nodiscard]] Reg<T> warp_inclusive_scan(WarpContext& wc, Reg<T> v) {
+template <typename T, typename Warp>
+[[nodiscard]] Reg<T> warp_inclusive_scan(Warp& wc, Reg<T> v) {
   for (int d = 1; d < sim::kWarpSize; d <<= 1) {
     const Reg<T> shifted = wc.shfl_up(sim::kFullMask, v, d);
     const Pred gate = wc.cmp_ge(wc.lane_id(), d);  // ctrl() of Equation 1
@@ -50,18 +50,18 @@ std::vector<KernelStats> scan_inclusive(const sim::ArchSpec& arch, std::span<con
   const T* src = in.data();
   T* dst = out.data();
   T* sums = block_sums.data();
-  auto body = [&, n, warps](BlockContext& blk) {
-    Smem<T> warp_totals = blk.alloc_smem<T>(warps);
-    std::vector<Reg<T>> scanned(static_cast<std::size_t>(warps));
+  auto body = [&, n, warps](auto& blk) {
+    Smem<T> warp_totals = blk.template alloc_smem<T>(warps);
+    InlineVec<Reg<T>, kMaxWarpsPerBlock> scanned(warps);
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index base = static_cast<Index>(blk.id().x) * kBlockThreads +
                          static_cast<Index>(w) * sim::kWarpSize;
-      const Reg<Index> idx = wc.iota<Index>(base, 1);
+      const Reg<Index> idx = wc.template iota<Index>(base, 1);
       Pred active = wc.cmp_lt(idx, n);
       Reg<T> v = wc.load_global(src, idx, &active);
       v = warp_inclusive_scan(wc, v);
-      scanned[static_cast<std::size_t>(w)] = v;
+      scanned[w] = v;
       // Publish the warp total (lane 31).
       const Reg<T> total = wc.shfl_idx(sim::kFullMask, v, sim::kWarpSize - 1);
       Pred lane0 = wc.cmp_lt(wc.lane_id(), 1);
@@ -69,23 +69,23 @@ std::vector<KernelStats> scan_inclusive(const sim::ArchSpec& arch, std::span<con
     }
     blk.sync();
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       // Accumulate preceding warps' totals (small serial loop, w <= 8).
       Reg<T> offset = wc.uniform(T{});
       for (int pw = 0; pw < w; ++pw) {
         const Reg<T> t = wc.load_shared_broadcast(warp_totals, pw);
         offset = wc.add(offset, t);
       }
-      Reg<T> v = wc.add(scanned[static_cast<std::size_t>(w)], offset);
+      Reg<T> v = wc.add(scanned[w], offset);
       const Index base = static_cast<Index>(blk.id().x) * kBlockThreads +
                          static_cast<Index>(w) * sim::kWarpSize;
-      const Reg<Index> idx = wc.iota<Index>(base, 1);
+      const Reg<Index> idx = wc.template iota<Index>(base, 1);
       Pred active = wc.cmp_lt(idx, n);
       wc.store_global(dst, idx, v, &active);
       if (w == warps - 1) {
         // Lane 31 of the last warp writes the block total.
         Pred last = wc.cmp_ge(wc.lane_id(), sim::kWarpSize - 1);
-        wc.store_global(sums, wc.uniform<Index>(blk.id().x),
+        wc.store_global(sums, wc.template uniform<Index>(blk.id().x),
                         wc.shfl_idx(sim::kFullMask, v, sim::kWarpSize - 1), &last);
       }
     }
@@ -100,14 +100,14 @@ std::vector<KernelStats> scan_inclusive(const sim::ArchSpec& arch, std::span<con
     all.insert(all.end(), sub.begin(), sub.end());
 
     const T* offs = scanned_sums.data();
-    auto add_body = [&, n](BlockContext& blk) {
+    auto add_body = [&, n](auto& blk) {
       if (blk.id().x == 0) return;  // block 0 needs no offset
       for (int w = 0; w < blk.warp_count(); ++w) {
-        WarpContext& wc = blk.warp(w);
-        const Reg<T> off = wc.load_global(offs, wc.uniform<Index>(blk.id().x - 1));
+        auto& wc = blk.warp(w);
+        const Reg<T> off = wc.load_global(offs, wc.template uniform<Index>(blk.id().x - 1));
         const Index base = static_cast<Index>(blk.id().x) * kBlockThreads +
                            static_cast<Index>(w) * sim::kWarpSize;
-        const Reg<Index> idx = wc.iota<Index>(base, 1);
+        const Reg<Index> idx = wc.template iota<Index>(base, 1);
         Pred active = wc.cmp_lt(idx, n);
         Reg<T> v = wc.load_global(dst, idx, &active);
         v = wc.add(v, off);

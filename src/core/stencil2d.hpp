@@ -8,8 +8,6 @@
 //   MAD every (dy, coeff) tap of the column against the register cache.
 #pragma once
 
-#include <vector>
-
 #include "common/grid.hpp"
 #include "core/dgraph.hpp"
 #include "core/kernel_common.hpp"
@@ -38,6 +36,8 @@ KernelStats stencil2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>&
   SSAM_REQUIRE(plan.passes.size() == 1 && plan.passes.front().dz == 0,
                "stencil2d_ssam needs a single-plane plan");
   const ColumnPass<T>& pass = plan.passes.front();
+  SSAM_REQUIRE(opt.p >= 1 && opt.p <= kMaxOutputsPerThread,
+               "sliding window length exceeds one warp");
   const Index width = in.width();
   const Index height = in.height();
 
@@ -56,19 +56,19 @@ KernelStats stencil2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>&
   const int dy_min = plan.dy_min;
   const int anchor = plan.anchor_dx;
 
-  auto body = [&, geom, dy_min, anchor, width, height](BlockContext& blk) {
+  auto body = [&, geom, dy_min, anchor, width, height](auto& blk) {
     for (int w = 0; w < blk.warp_count(); ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const long long warp_linear =
           static_cast<long long>(blk.id().x) * geom.warps_per_block() + w;
       const Index col0 = geom.lane0_col(warp_linear);
       if (col0 - geom.dx_min >= width) continue;
       const Index row0 = static_cast<Index>(blk.id().y) * geom.p + dy_min;
 
-      RegisterCache<T> rc(wc, geom.c());
+      auto rc = make_register_cache<T>(wc, geom.c());
       rc.load_rows(in, col0, row0);
 
-      std::vector<Reg<T>> result(static_cast<std::size_t>(geom.p));
+      InlineVec<Reg<T>, kMaxOutputsPerThread> result(geom.p);
       for (int i = 0; i < geom.p; ++i) {
         Reg<T> sum = wc.uniform(T{});
         for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
@@ -77,18 +77,12 @@ KernelStats stencil2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>&
             sum = wc.mad(rc.row(i + tap.dy - dy_min), tap.coeff, sum);
           }
         }
-        result[static_cast<std::size_t>(i)] = sum;
+        result[i] = sum;
       }
 
-      const Reg<Index> out_x = wc.affine(wc.iota<Index>(0, 1), 1, col0 - anchor);
-      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span),
-                            wc.cmp_lt(out_x, width));
-      for (int i = 0; i < geom.p; ++i) {
-        const Index oy = static_cast<Index>(blk.id().y) * geom.p + i;
-        if (oy >= height) break;
-        const Reg<Index> oidx = wc.affine(out_x, 1, oy * out.pitch());
-        wc.store_global(out.data(), oidx, result[static_cast<std::size_t>(i)], &ok);
-      }
+      store_valid_rows(wc, out, col0 - anchor, static_cast<Index>(blk.id().y) * geom.p,
+                       geom.p, geom.span,
+                       [&](int i) -> const Reg<T>& { return result[i]; });
     }
   };
 

@@ -13,7 +13,7 @@
 // overlapped temporal blocking scheme.
 #pragma once
 
-#include <vector>
+#include <utility>
 
 #include "core/stencil2d.hpp"
 
@@ -45,6 +45,10 @@ KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
   const int dy_span = plan.rows_halo();
   SSAM_REQUIRE(t >= 1, "need at least one step");
   SSAM_REQUIRE(sim::kWarpSize - t * span >= 8, "too many fused steps for one warp");
+  SSAM_REQUIRE(opt.p >= 1 && opt.p <= kMaxOutputsPerThread,
+               "sliding window length exceeds one warp");
+  SSAM_REQUIRE(opt.p + t * dy_span <= kMaxRegCacheRows,
+               "fused steps exceed the register cache capacity");
   const Index width = in.width();
   const Index height = in.height();
 
@@ -63,9 +67,9 @@ KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
   const int dy_min = plan.dy_min;
   const int anchor = plan.anchor_dx;
 
-  auto body = [&, geom, dy_min, anchor, width, height, t, dy_span](BlockContext& blk) {
+  auto body = [&, geom, dy_min, anchor, width, height, t, dy_span](auto& blk) {
     for (int w = 0; w < blk.warp_count(); ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const long long warp_linear =
           static_cast<long long>(blk.id().x) * geom.warps_per_block() + w;
       const Index col0 = geom.lane0_col(warp_linear);
@@ -74,41 +78,38 @@ KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
       const Index row0 = static_cast<Index>(blk.id().y) * geom.p +
                          static_cast<Index>(t) * dy_min;
 
-      RegisterCache<T> rc(wc, geom.c());
+      auto rc = make_register_cache<T>(wc, geom.c());
       rc.load_rows(in, col0, row0);
 
-      // Level 0 = cached input rows.
-      std::vector<Reg<T>> level(static_cast<std::size_t>(geom.c()));
-      for (int r = 0; r < geom.c(); ++r) level[static_cast<std::size_t>(r)] = rc.row(r);
+      // Level 0 = cached input rows; the in-register relaxation ping-pongs
+      // between two fixed buffers (the "two live levels" of the register
+      // estimate), one level per fused step.
+      InlineVec<Reg<T>, kMaxRegCacheRows> buf_a(geom.c());
+      InlineVec<Reg<T>, kMaxRegCacheRows> buf_b;
+      for (int r = 0; r < geom.c(); ++r) buf_a[r] = rc.row(r);
+      auto* cur = &buf_a;
+      auto* nxt = &buf_b;
 
       for (int s = 0; s < t; ++s) {
-        const int next_rows = static_cast<int>(level.size()) - dy_span;
-        std::vector<Reg<T>> next(static_cast<std::size_t>(next_rows));
+        const int next_rows = cur->size() - dy_span;
+        nxt->resize(next_rows);
         for (int r = 0; r < next_rows; ++r) {
           Reg<T> sum = wc.uniform(T{});
           for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
             if (ci > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
             for (const ColumnTap<T>& tap : pass.columns[ci]) {
-              sum = wc.mad(level[static_cast<std::size_t>(r + tap.dy - dy_min)],
-                           tap.coeff, sum);
+              sum = wc.mad((*cur)[r + tap.dy - dy_min], tap.coeff, sum);
             }
           }
-          next[static_cast<std::size_t>(r)] = sum;
+          (*nxt)[r] = sum;
         }
-        level = std::move(next);
+        std::swap(cur, nxt);
       }
 
       // After t sweeps lane l's value sits at out_x = col(l) - t*anchor.
-      const Reg<Index> out_x =
-          wc.affine(wc.iota<Index>(0, 1), 1, col0 - static_cast<Index>(t) * anchor);
-      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span),
-                            wc.cmp_lt(out_x, width));
-      for (int i = 0; i < geom.p; ++i) {
-        const Index oy = static_cast<Index>(blk.id().y) * geom.p + i;
-        if (oy >= height) break;
-        const Reg<Index> oidx = wc.affine(out_x, 1, oy * out.pitch());
-        wc.store_global(out.data(), oidx, level[static_cast<std::size_t>(i)], &ok);
-      }
+      store_valid_rows(wc, out, col0 - static_cast<Index>(t) * anchor,
+                       static_cast<Index>(blk.id().y) * geom.p, geom.p, geom.span,
+                       [&](int i) -> const Reg<T>& { return (*cur)[i]; });
     }
   };
 

@@ -26,6 +26,10 @@ struct Stencil3DOptions {
   int warps = 8;  ///< planes per block
 };
 
+/// Bound on the flat per-block register state (warps x P partial sums) the
+/// 3D kernels keep across barriers without heap allocation.
+inline constexpr int kMaxBlockRegRows = 320;
+
 [[nodiscard]] inline int stencil3d_ssam_regs(int rows_halo, int p, int passes) {
   return (p + rows_halo) + p * passes + 12;
 }
@@ -37,6 +41,10 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
                            ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
   const int rz = plan.rz();
   SSAM_REQUIRE(opt.warps > 2 * rz, "need more warps than z halo planes");
+  SSAM_REQUIRE(opt.p >= 1 && opt.p <= kMaxOutputsPerThread,
+               "sliding window length exceeds one warp");
+  SSAM_REQUIRE(opt.warps * opt.p <= kMaxBlockRegRows,
+               "per-block partial-sum state exceeds the inline bound");
   const Index nx = in.nx();
   const Index ny = in.ny();
   const Index nz = in.nz();
@@ -75,11 +83,11 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
   const int anchor = plan.anchor_dx;
   const int vp = geom3.valid_planes();
 
-  auto body = [&, geom, geom3, dy_min, anchor, nx, ny, nz, vp, n_off](BlockContext& blk) {
+  auto body = [&, geom, geom3, dy_min, anchor, nx, ny, nz, vp, n_off](auto& blk) {
     const int warps = geom3.warps;
     const int p = geom.p;
     const int smem_elems = warps * std::max(1, n_off) * p * sim::kWarpSize;
-    Smem<T> published = blk.alloc_smem<T>(smem_elems);
+    Smem<T> published = blk.template alloc_smem<T>(smem_elems);
     auto smem_base = [&](int warp, int slot, int i) {
       return ((warp * std::max(1, n_off) + slot) * p + i) * sim::kWarpSize;
     };
@@ -88,18 +96,18 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
     const Index row0 = static_cast<Index>(blk.id().y) * p + dy_min;
     const Index z_first = static_cast<Index>(blk.id().z) * vp - geom3.rz;
 
-    // Per-warp dz=0 partial sums kept across the barrier.
-    std::vector<std::vector<Reg<T>>> center_sum(
-        static_cast<std::size_t>(warps), std::vector<Reg<T>>(static_cast<std::size_t>(p)));
+    // Per-warp dz=0 partial sums kept across the barrier, flattened to
+    // [warp * p + i] in a fixed inline buffer (registers, not heap).
+    InlineVec<Reg<T>, kMaxBlockRegRows> center_sum(warps * p);
 
     // Phase 1: every warp computes all passes for its plane.
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       Index pz = z_first + w;
       pz = pz < 0 ? 0 : (pz >= nz ? nz - 1 : pz);  // replicate border in z
       const GridView2D<const T> plane = in.slice(pz);
 
-      RegisterCache<T> rc(wc, geom.c());
+      auto rc = make_register_cache<T>(wc, geom.c());
       rc.load_rows(plane, col0, row0);
 
       for (int i = 0; i < p; ++i) {
@@ -113,7 +121,7 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
             }
           }
         }
-        center_sum[static_cast<std::size_t>(w)][static_cast<std::size_t>(i)] = s0;
+        center_sum[w * p + i] = s0;
 
         // dz != 0 passes go to shared memory.
         for (int s = 0; s < n_off; ++s) {
@@ -125,7 +133,7 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
               sum = wc.mad(rc.row(i + tap.dy - dy_min), tap.coeff, sum);
             }
           }
-          const Reg<int> sidx = wc.iota<int>(smem_base(w, s, i), 1);
+          const Reg<int> sidx = wc.template iota<int>(smem_base(w, s, i), 1);
           wc.store_shared(published, sidx, sum);
         }
       }
@@ -134,30 +142,27 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
 
     // Phase 2: interior warps accumulate neighbours' contributions and store.
     for (int w = geom3.rz; w < warps - geom3.rz; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index pz = z_first + w;
       if (pz < 0 || pz >= nz) continue;
 
-      const Reg<Index> out_x = wc.affine(wc.iota<Index>(0, 1), 1, col0 - anchor);
-      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span), wc.cmp_lt(out_x, nx));
-      for (int i = 0; i < p; ++i) {
-        const Index oy = static_cast<Index>(blk.id().y) * p + i;
-        if (oy >= ny) break;
-        Reg<T> sum = center_sum[static_cast<std::size_t>(w)][static_cast<std::size_t>(i)];
-        for (int s = 0; s < n_off; ++s) {
-          const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(s)];
-          const int producer = w + pass.dz;  // S_dz(z + dz) lives there
-          const int deficit = anchor - pass.dx_max;
-          Reg<int> sidx =
-              wc.add(wc.lane_id(), smem_base(producer, s, i) - deficit);
-          sidx = wc.clamp(sidx, smem_base(producer, s, i),
-                          smem_base(producer, s, i) + sim::kWarpSize - 1);
-          const Reg<T> v = wc.load_shared(published, sidx);
-          sum = wc.add(sum, v);
-        }
-        const Reg<Index> oidx = wc.affine(out_x, 1, (pz * ny + oy) * nx);
-        wc.store_global(out.data(), oidx, sum, &ok);
-      }
+      const GridView2D<T> plane{out.data() + pz * ny * nx, nx, ny, nx};
+      store_valid_rows(wc, plane, col0 - anchor, static_cast<Index>(blk.id().y) * p, p,
+                       geom.span, [&](int i) {
+                         Reg<T> sum = center_sum[w * p + i];
+                         for (int s = 0; s < n_off; ++s) {
+                           const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(s)];
+                           const int producer = w + pass.dz;  // S_dz(z + dz) lives there
+                           const int deficit = anchor - pass.dx_max;
+                           Reg<int> sidx =
+                               wc.add(wc.lane_id(), smem_base(producer, s, i) - deficit);
+                           sidx = wc.clamp(sidx, smem_base(producer, s, i),
+                                           smem_base(producer, s, i) + sim::kWarpSize - 1);
+                           const Reg<T> v = wc.load_shared(published, sidx);
+                           sum = wc.add(sum, v);
+                         }
+                         return sum;
+                       });
     }
   };
 

@@ -47,6 +47,10 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
   SSAM_REQUIRE(t >= 1, "need at least one step");
   SSAM_REQUIRE(opt.warps > 2 * t * rz, "z block too shallow for t fused steps");
   SSAM_REQUIRE(sim::kWarpSize - t * span >= 8, "too many fused steps for one warp");
+  SSAM_REQUIRE(opt.p >= 1 && opt.p <= kMaxOutputsPerThread,
+               "sliding window length exceeds one warp");
+  SSAM_REQUIRE(opt.warps * (opt.p + t * dy_span) <= kMaxBlockRegRows,
+               "per-block register level state exceeds the inline bound");
   const Index nx = in.nx(), ny = in.ny(), nz = in.nz();
 
   Blocking2D geom;
@@ -80,13 +84,13 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
   const int anchor = plan.anchor_dx;
 
   auto body = [&, geom, dy_min, anchor, nx, ny, nz, vp, n_off, rz, t, span,
-               dy_span](BlockContext& blk) {
+               dy_span](auto& blk) {
     const int warps = blk.warp_count();
     const int p = geom.p;
     // Largest published level: rows at level 1 = C0 - dy_span.
     const int c0 = p + t * dy_span;
     const int max_rows = std::max(1, c0 - dy_span);
-    Smem<T> published = blk.alloc_smem<T>(warps * std::max(1, n_off) * max_rows *
+    Smem<T> published = blk.template alloc_smem<T>(warps * std::max(1, n_off) * max_rows *
                                           sim::kWarpSize);
     auto smem_base = [&](int warp, int slot, int row) {
       return ((warp * std::max(1, n_off) + slot) * max_rows + row) * sim::kWarpSize;
@@ -98,53 +102,48 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
     const Index z_first = static_cast<Index>(blk.id().z) * vp -
                           static_cast<Index>(t) * rz;
 
-    // Per-warp register state across barriers: the current level's rows.
-    std::vector<std::vector<Reg<T>>> level(static_cast<std::size_t>(warps));
+    // Per-warp register state across barriers: the current level's rows,
+    // flattened to [warp * c0 + row] in fixed inline buffers. Rows per warp
+    // shrink every fused step; the stride stays c0.
+    InlineVec<Reg<T>, kMaxBlockRegRows> level(warps * c0);
     for (int w = 0; w < warps; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       Index pz = z_first + w;
       pz = pz < 0 ? 0 : (pz >= nz ? nz - 1 : pz);
-      RegisterCache<T> rc(wc, c0);
+      auto rc = make_register_cache<T>(wc, c0);
       rc.load_rows(in.slice(pz), col0, row0);
-      auto& rows = level[static_cast<std::size_t>(w)];
-      rows.resize(static_cast<std::size_t>(c0));
-      for (int r = 0; r < c0; ++r) rows[static_cast<std::size_t>(r)] = rc.row(r);
+      for (int r = 0; r < c0; ++r) level[w * c0 + r] = rc.row(r);
     }
 
-    std::vector<std::vector<Reg<T>>> center_sums(static_cast<std::size_t>(warps));
+    InlineVec<Reg<T>, kMaxBlockRegRows> center_sums(warps * c0);
     for (int s = 0; s < t; ++s) {
       const int rows_next = c0 - (s + 1) * dy_span;
       // Producers this step: warps whose level-s rows are valid.
       const int w_lo = s * rz;
       const int w_hi = warps - 1 - s * rz;
       for (int w = w_lo; w <= w_hi; ++w) {
-        WarpContext& wc = blk.warp(w);
-        const auto& rows = level[static_cast<std::size_t>(w)];
-        auto& csums = center_sums[static_cast<std::size_t>(w)];
-        csums.assign(static_cast<std::size_t>(rows_next), Reg<T>{});
+        auto& wc = blk.warp(w);
         for (int r = 0; r < rows_next; ++r) {
           Reg<T> s0 = wc.uniform(T{});
           if (center_pass != nullptr) {
             for (std::size_t ci = 0; ci < center_pass->columns.size(); ++ci) {
               if (ci > 0) s0 = wc.shfl_up(sim::kFullMask, s0, 1);
               for (const ColumnTap<T>& tap : center_pass->columns[ci]) {
-                s0 = wc.mad(rows[static_cast<std::size_t>(r + tap.dy - dy_min)],
-                            tap.coeff, s0);
+                s0 = wc.mad(level[w * c0 + r + tap.dy - dy_min], tap.coeff, s0);
               }
             }
           }
-          csums[static_cast<std::size_t>(r)] = s0;
+          center_sums[w * c0 + r] = s0;
           for (int slot = 0; slot < n_off; ++slot) {
             const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(slot)];
             Reg<T> sum = wc.uniform(T{});
             for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
               if (ci > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
               for (const ColumnTap<T>& tap : pass.columns[ci]) {
-                sum = wc.mad(rows[static_cast<std::size_t>(r + tap.dy - dy_min)],
-                             tap.coeff, sum);
+                sum = wc.mad(level[w * c0 + r + tap.dy - dy_min], tap.coeff, sum);
               }
             }
-            wc.store_shared(published, wc.iota<int>(smem_base(w, slot, r), 1), sum);
+            wc.store_shared(published, wc.template iota<int>(smem_base(w, slot, r), 1), sum);
           }
         }
       }
@@ -154,11 +153,11 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
       const int c_lo = (s + 1) * rz;
       const int c_hi = warps - 1 - (s + 1) * rz;
       for (int w = c_lo; w <= c_hi; ++w) {
-        WarpContext& wc = blk.warp(w);
-        auto& rows = level[static_cast<std::size_t>(w)];
-        std::vector<Reg<T>> next(static_cast<std::size_t>(rows_next));
+        auto& wc = blk.warp(w);
+        // The next level only reads center_sums and shared memory, never the
+        // current rows, so it can overwrite level[w] in place.
         for (int r = 0; r < rows_next; ++r) {
-          Reg<T> sum = center_sums[static_cast<std::size_t>(w)][static_cast<std::size_t>(r)];
+          Reg<T> sum = center_sums[w * c0 + r];
           for (int slot = 0; slot < n_off; ++slot) {
             const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(slot)];
             const int producer = w + pass.dz;
@@ -168,28 +167,21 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
                             smem_base(producer, slot, r) + sim::kWarpSize - 1);
             sum = wc.add(sum, wc.load_shared(published, sidx));
           }
-          next[static_cast<std::size_t>(r)] = sum;
+          level[w * c0 + r] = sum;
         }
-        rows = std::move(next);
       }
       if (s + 1 < t) blk.sync();  // published buffer is reused next step
     }
 
     // Store: interior warps, P rows each, lanes >= t*span.
     for (int w = t * rz; w < warps - t * rz; ++w) {
-      WarpContext& wc = blk.warp(w);
+      auto& wc = blk.warp(w);
       const Index pz = z_first + w;
       if (pz < 0 || pz >= nz) continue;
-      const Reg<Index> out_x =
-          wc.affine(wc.iota<Index>(0, 1), 1, col0 - static_cast<Index>(t) * anchor);
-      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span), wc.cmp_lt(out_x, nx));
-      const auto& rows = level[static_cast<std::size_t>(w)];
-      for (int i = 0; i < p; ++i) {
-        const Index oy = static_cast<Index>(blk.id().y) * p + i;
-        if (oy >= ny) break;
-        const Reg<Index> oidx = wc.affine(out_x, 1, (pz * ny + oy) * nx);
-        wc.store_global(out.data(), oidx, rows[static_cast<std::size_t>(i)], &ok);
-      }
+      const GridView2D<T> plane{out.data() + pz * ny * nx, nx, ny, nx};
+      store_valid_rows(wc, plane, col0 - static_cast<Index>(t) * anchor,
+                       static_cast<Index>(blk.id().y) * p, p, geom.span,
+                       [&](int i) -> const Reg<T>& { return level[w * c0 + i]; });
     }
   };
 

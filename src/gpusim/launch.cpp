@@ -10,31 +10,40 @@ Occupancy compute_occupancy(const ArchSpec& arch, int block_threads, int regs_pe
                "block size must be a warp multiple");
   const int warps_per_block = block_threads / arch.warp_size;
 
-  Occupancy occ;
-  int by_warps = arch.max_warps_per_sm / warps_per_block;
-  // Register allocation granularity: model as straight per-thread allocation.
-  const int regs_per_block = std::max(1, regs_per_thread) * block_threads;
-  int by_regs = arch.regs_per_sm / regs_per_block;
-  int by_smem = smem_per_block > 0
-                    ? static_cast<int>(arch.smem_per_sm / smem_per_block)
-                    : arch.max_blocks_per_sm;
-  int by_slots = arch.max_blocks_per_sm;
+  // Per-resource block limits, in the order ties are attributed. A limit of
+  // zero means one block alone oversubscribes that resource.
+  const int by_regs =
+      arch.regs_per_sm / (std::max(1, regs_per_thread) * block_threads);
+  const int by_smem = smem_per_block > 0
+                          ? static_cast<int>(arch.smem_per_sm / smem_per_block)
+                          : arch.max_blocks_per_sm;
+  const int by_warps = arch.max_warps_per_sm / warps_per_block;
+  const int by_slots = arch.max_blocks_per_sm;
+  struct Limit {
+    const char* name;
+    const char* oversub_name;
+    int value;
+  };
+  const Limit limits[] = {
+      {"registers", "registers (oversubscribed)", by_regs},
+      {"shared-memory", "shared-memory (oversubscribed)", by_smem},
+      {"warp-slots", "warp-slots (oversubscribed)", by_warps},
+      {"block-slots", "block-slots (oversubscribed)", by_slots},
+  };
 
-  occ.blocks_per_sm = std::max(1, std::min({by_warps, by_regs, by_smem, by_slots}));
-  if (by_regs <= 0 || by_smem <= 0 || by_warps <= 0) occ.blocks_per_sm = 1;  // oversubscribed
+  // The binding limiter is the resource with the smallest block limit (first
+  // in attribution order on ties) — even when that limit is <= 0 and the
+  // block count is clamped to one resident block.
+  const Limit* binding = &limits[0];
+  for (const Limit& l : limits) {
+    if (l.value < binding->value) binding = &l;
+  }
+
+  Occupancy occ;
+  occ.blocks_per_sm = std::max(1, binding->value);
+  occ.limiter = binding->value <= 0 ? binding->oversub_name : binding->name;
   occ.warps_per_sm = occ.blocks_per_sm * warps_per_block;
   occ.fraction = static_cast<double>(occ.warps_per_sm) / arch.max_warps_per_sm;
-
-  const int limit = occ.blocks_per_sm;
-  if (limit == by_regs) {
-    occ.limiter = "registers";
-  } else if (limit == by_smem) {
-    occ.limiter = "shared-memory";
-  } else if (limit == by_warps) {
-    occ.limiter = "warp-slots";
-  } else {
-    occ.limiter = "block-slots";
-  }
   return occ;
 }
 

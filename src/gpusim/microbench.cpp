@@ -26,7 +26,7 @@ MicrobenchResult run_microbench(const ArchSpec& arch, int iterations) {
   MicrobenchResult res;
   const LaunchConfig cfg{.grid = Dim3{1, 1, 1}, .block_threads = 32, .regs_per_thread = 32};
   MemorySystem mem(arch);
-  BlockContext blk(arch, cfg, BlockId{}, &mem, /*timing=*/true);
+  BlockContext blk(arch, cfg, BlockId{}, &mem);
   WarpContext& w = blk.warp(0);
 
   res.mad_cycles = chain_cycles(w.uniform(1.0f), iterations, [&](const Reg<float>& v) {

@@ -1,16 +1,31 @@
-// Warp-wide values.
+// Warp-wide values and their element-wise lane primitives.
 //
 // The simulator executes device code warp-synchronously: one `Reg<T>` holds
 // the value of a virtual register across all 32 lanes of a warp, plus the
 // simulated cycle at which the value becomes available (set by the
 // scoreboard). This is the "software systolic array" substrate of the paper:
 // the PEs of Figure 1d are exactly these per-lane register slots.
+//
+// All lane arithmetic lives here as `Vec<T>` primitives — one short
+// fixed-trip-count loop per operation, annotated for vectorization — so the
+// functional execution path compiles down to tight SIMD loops and the
+// WarpContext operations reduce to one-liners.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <cstring>
 
 #include "common/types.hpp"
+
+// Vectorization hint for the 32-lane primitive loops. `omp simd` needs
+// -fopenmp / -fopenmp-simd; without it the fixed trip count still lets the
+// optimizer auto-vectorize at -O2/-O3.
+#if defined(_OPENMP)
+#define SSAM_SIMD _Pragma("omp simd")
+#else
+#define SSAM_SIMD
+#endif
 
 namespace ssam::sim {
 
@@ -19,10 +34,16 @@ inline constexpr int kWarpSize = 32;
 /// Full-warp participation mask, as in `__shfl_up_sync(0xffffffff, ...)`.
 inline constexpr std::uint32_t kFullMask = 0xffffffffu;
 
-/// Plain 32-lane SIMD value (no timing attached).
+/// Plain 32-lane SIMD value (no timing attached). The static members are the
+/// element-wise primitives every warp operation is built from; each is a
+/// single vectorizable loop over the 32 contiguous lanes.
 template <typename T>
 struct Vec {
-  std::array<T, kWarpSize> lane{};
+  // Intentionally not initialized: a Vec is a register file row, and the
+  // primitives below always write all 32 lanes before anything reads them.
+  // Keeping the type trivially default-constructible means the fixed-capacity
+  // accumulator arrays of the kernels cost zero cycles to construct.
+  std::array<T, kWarpSize> lane;
 
   [[nodiscard]] T& operator[](int i) { return lane[static_cast<std::size_t>(i)]; }
   [[nodiscard]] const T& operator[](int i) const { return lane[static_cast<std::size_t>(i)]; }
@@ -39,14 +60,228 @@ struct Vec {
     for (int i = 0; i < kWarpSize; ++i, v = static_cast<T>(v + step)) r[i] = v;
     return r;
   }
+
+  // ------------------------------------------------------------- arithmetic
+
+  [[nodiscard]] static Vec mad(const Vec& a, const Vec& b, const Vec& c) {
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] * b.lane[l] + c.lane[l];
+    return r;
+  }
+
+  [[nodiscard]] static Vec mad(const Vec& a, T b, const Vec& c) {
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] * b + c.lane[l];
+    return r;
+  }
+
+  [[nodiscard]] static Vec add(const Vec& a, const Vec& b) {
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] + b.lane[l];
+    return r;
+  }
+
+  [[nodiscard]] static Vec add(const Vec& a, T b) {
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] + b;
+    return r;
+  }
+
+  [[nodiscard]] static Vec sub(const Vec& a, const Vec& b) {
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] - b.lane[l];
+    return r;
+  }
+
+  [[nodiscard]] static Vec mul(const Vec& a, const Vec& b) {
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] * b.lane[l];
+    return r;
+  }
+
+  [[nodiscard]] static Vec mul(const Vec& a, T b) {
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] * b;
+    return r;
+  }
+
+  /// x*scale + offset with scalar coefficients (one integer MAD on device).
+  /// scale == 1 (the ubiquitous row-base addressing case) skips the multiply.
+  [[nodiscard]] static Vec affine(const Vec& x, T scale, T offset) {
+    if (scale == T{1}) return add(x, offset);
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = x.lane[l] * scale + offset;
+    return r;
+  }
+
+  [[nodiscard]] static Vec clamp(const Vec& x, T lo, T hi) {
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) {
+      T v = x.lane[l];
+      v = v < lo ? lo : v;
+      v = v > hi ? hi : v;
+      r.lane[l] = v;
+    }
+    return r;
+  }
+
+  // -------------------------------------------------------------- predicates
+
+  [[nodiscard]] static Vec<int> ge(const Vec& a, T b) {
+    Vec<int> r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] >= b ? 1 : 0;
+    return r;
+  }
+
+  [[nodiscard]] static Vec<int> lt(const Vec& a, T b) {
+    Vec<int> r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] < b ? 1 : 0;
+    return r;
+  }
+
+  [[nodiscard]] static Vec<int> logical_and(const Vec<int>& a, const Vec<int>& b) {
+    Vec<int> r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) {
+      r.lane[l] = (a.lane[l] != 0 && b.lane[l] != 0) ? 1 : 0;
+    }
+    return r;
+  }
+
+  /// r = pred ? a : b (SEL instruction).
+  [[nodiscard]] static Vec select(const Vec<int>& pred, const Vec& a, const Vec& b) {
+    Vec r;
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = pred.lane[l] != 0 ? a.lane[l] : b.lane[l];
+    return r;
+  }
+
+  // ---------------------------------------------------------------- shuffles
+
+  /// __shfl_up_sync: lane l receives lane l-delta; lanes < delta keep their
+  /// own value. Implemented as two block copies (lane types are trivial);
+  /// the delta == 1 partial-sum shift of every systolic sweep gets a
+  /// constant-size copy the compiler turns into straight vector moves.
+  [[nodiscard]] static Vec shift_up(const Vec& a, int delta) {
+    if (delta <= 0) return a;
+    if (delta > kWarpSize) delta = kWarpSize;
+    Vec r;
+    if (delta == 1) {
+      r.lane[0] = a.lane[0];
+      std::memcpy(r.lane.data() + 1, a.lane.data(), (kWarpSize - 1) * sizeof(T));
+      return r;
+    }
+    std::memcpy(r.lane.data(), a.lane.data(), static_cast<std::size_t>(delta) * sizeof(T));
+    std::memcpy(r.lane.data() + delta, a.lane.data(),
+                static_cast<std::size_t>(kWarpSize - delta) * sizeof(T));
+    return r;
+  }
+
+  /// __shfl_down_sync: lane l receives lane l+delta; top lanes keep their own.
+  [[nodiscard]] static Vec shift_down(const Vec& a, int delta) {
+    if (delta <= 0) return a;
+    if (delta > kWarpSize) delta = kWarpSize;
+    Vec r;
+    std::memcpy(r.lane.data(), a.lane.data() + delta,
+                static_cast<std::size_t>(kWarpSize - delta) * sizeof(T));
+    std::memcpy(r.lane.data() + (kWarpSize - delta), a.lane.data() + (kWarpSize - delta),
+                static_cast<std::size_t>(delta) * sizeof(T));
+    return r;
+  }
+
+  /// __shfl_sync with a uniform source lane (broadcast; wraps modulo warp).
+  [[nodiscard]] static Vec broadcast(const Vec& a, int src_lane) {
+    return splat(a.lane[static_cast<std::size_t>(src_lane & (kWarpSize - 1))]);
+  }
+
+  /// __shfl_xor_sync (butterfly exchange).
+  [[nodiscard]] static Vec butterfly(const Vec& a, int lane_mask) {
+    Vec r;
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l ^ lane_mask];
+    return r;
+  }
+
+  // ------------------------------------------------------------ gather/scatter
+
+  /// True when idx is the unit-stride ramp idx[0], idx[0]+1, ... — the fully
+  /// coalesced pattern almost every SSAM access produces.
+  template <typename I>
+  [[nodiscard]] static bool unit_stride(const Vec<I>& idx) {
+    const I i0 = idx.lane[0];
+    bool contiguous = true;
+    // No SSAM_SIMD here: `contiguous` is a loop-carried reduction, which the
+    // plain `omp simd` pragma does not declare (it would need a reduction
+    // clause); the fixed-trip loop auto-vectorizes fine regardless.
+    for (int l = 1; l < kWarpSize; ++l) {
+      contiguous &= idx.lane[l] == i0 + static_cast<I>(l);
+    }
+    return contiguous;
+  }
+
+  template <typename I>
+  [[nodiscard]] static Vec gather(const T* base, const Vec<I>& idx) {
+    Vec r;
+    if (unit_stride(idx)) {  // coalesced: one 128-byte block copy
+      std::memcpy(r.lane.data(), base + idx.lane[0], sizeof(r.lane));
+      return r;
+    }
+    SSAM_SIMD
+    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = base[idx.lane[l]];
+    return r;
+  }
+
+  /// Masked gather; inactive lanes receive T{} (matching the documented
+  /// load semantics kernels rely on, e.g. masked scan inputs).
+  template <typename I>
+  [[nodiscard]] static Vec gather_if(const T* base, const Vec<I>& idx, const Vec<int>& active) {
+    Vec r;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active.lane[l] != 0) {
+        r.lane[l] = base[idx.lane[l]];
+      } else {
+        r.lane[l] = T{};
+      }
+    }
+    return r;
+  }
+
+  template <typename I>
+  static void scatter(T* base, const Vec<I>& idx, const Vec& v) {
+    if (unit_stride(idx)) {  // coalesced: one 128-byte block copy
+      std::memcpy(base + idx.lane[0], v.lane.data(), sizeof(v.lane));
+      return;
+    }
+    for (int l = 0; l < kWarpSize; ++l) base[idx.lane[l]] = v.lane[l];
+  }
+
+  template <typename I>
+  static void scatter_if(T* base, const Vec<I>& idx, const Vec& v, const Vec<int>& active) {
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active.lane[l] != 0) base[idx.lane[l]] = v.lane[l];
+    }
+  }
 };
 
 /// A virtual register: value lanes plus the cycle the value is ready.
-/// `ready == 0` means available immediately (constants, kernel arguments).
+/// `ready == 0` means available immediately (constants, kernel arguments);
+/// the functional execution path never touches it. Like Vec, a Reg is
+/// trivially default-constructible — every producing operation writes all
+/// lanes (and, in timing mode, the ready cycle) before anything reads them.
 template <typename T>
 struct Reg {
-  Vec<T> v{};
-  Cycle ready = 0;
+  Vec<T> v;
+  Cycle ready;
 
   [[nodiscard]] T& operator[](int i) { return v[i]; }
   [[nodiscard]] const T& operator[](int i) const { return v[i]; }

@@ -18,7 +18,7 @@ struct WarpFixture {
   const ArchSpec& arch = tesla_v100();
   LaunchConfig cfg{.grid = Dim3{1, 1, 1}, .block_threads = 128, .regs_per_thread = 32};
   MemorySystem mem{arch};
-  BlockContext blk{arch, cfg, BlockId{}, &mem, true};
+  BlockContext blk{arch, cfg, BlockId{}, &mem};
   WarpContext& w = blk.warp(0);
 };
 

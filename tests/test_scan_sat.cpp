@@ -18,7 +18,7 @@ TEST(WarpScan, MatchesSerialPrefixOn32Lanes) {
   const auto& arch = sim::tesla_v100();
   sim::LaunchConfig cfg{.grid = Dim3{1, 1, 1}, .block_threads = 32, .regs_per_thread = 16};
   sim::MemorySystem mem(arch);
-  sim::BlockContext blk(arch, cfg, BlockId{}, &mem, true);
+  sim::BlockContext blk(arch, cfg, BlockId{}, &mem);
   sim::WarpContext& wc = blk.warp(0);
   sim::Reg<float> v = wc.iota(1.0f, 1.0f);  // 1..32
   const sim::Reg<float> s = core::warp_inclusive_scan(wc, v);
