@@ -10,12 +10,18 @@
 // 32-lane loops, per-block BlockContext reconstruction (48 KB zeroed shared
 // arena + warp vector per block), heap-allocated accumulators — and reports
 // the speedup of the compile-time-specialized SIMD path over it.
+// It also runs a multi-kernel *pipeline* scenario (blur + Sobel pair over a
+// batch of images) serially and as overlapping streams on the launch queue,
+// reporting end-to-end pipeline throughput — the number the async
+// execution-service work is accountable to.
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/conv2d.hpp"
 #include "core/gemm.hpp"
 #include "core/scan.hpp"
@@ -24,10 +30,7 @@
 #include "core/stencil3d.hpp"
 #include "core/stencil_shape.hpp"
 #include "gpusim/arch.hpp"
-
-#if defined(SSAM_HAVE_OPENMP)
-#include <omp.h>
-#endif
+#include "gpusim/stream.hpp"
 
 namespace {
 
@@ -428,6 +431,7 @@ struct KernelResult {
   double flops_per_cell = 0.0;
   double seconds = 0.0;     ///< best-of per-rep wall time, current path
   double legacy_seconds = 0.0;  ///< 0 when no legacy replica exists
+  double serial_seconds = 0.0;  ///< pipeline only: sum-of-stages serial time
 
   [[nodiscard]] double blocks_per_sec() const {
     return static_cast<double>(blocks) / seconds;
@@ -438,6 +442,9 @@ struct KernelResult {
   }
   [[nodiscard]] double speedup_vs_legacy() const {
     return legacy_seconds > 0.0 ? legacy_seconds / seconds : 0.0;
+  }
+  [[nodiscard]] double overlap_speedup() const {
+    return serial_seconds > 0.0 ? serial_seconds / seconds : 0.0;
   }
 };
 
@@ -482,10 +489,7 @@ void write_json(const std::vector<KernelResult>& results, const char* path) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  int threads = 1;
-#if defined(SSAM_HAVE_OPENMP)
-  threads = omp_get_max_threads();
-#endif
+  const int threads = ssam::ThreadPool::global().size();
   std::fprintf(f, "{\n  \"benchmark\": \"sim_throughput\",\n  \"mode\": \"functional\",\n");
   std::fprintf(f, "  \"host_threads\": %d,\n  \"kernels\": [\n", threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -502,6 +506,10 @@ void write_json(const std::vector<KernelResult>& results, const char* path) {
                    "\"speedup_vs_legacy\": %.2f",
                    r.legacy_seconds, static_cast<double>(r.blocks) / r.legacy_seconds,
                    r.speedup_vs_legacy());
+    }
+    if (r.serial_seconds > 0.0) {
+      std::fprintf(f, ", \"serial_seconds\": %.6f, \"overlap_speedup\": %.2f",
+                   r.serial_seconds, r.overlap_speedup());
     }
     std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
@@ -638,6 +646,80 @@ int main(int argc, char** argv) {
     });
     r.blocks = stats.blocks_total;
     std::printf("%-24s %10.3f ms\n", r.name.c_str(), r.seconds * 1e3);
+    results.push_back(r);
+  }
+
+  // --- multi-kernel pipeline: blur -> (sobel_x, sobel_y) over a batch -------
+  // Serial path launches every stage back-to-back; the stream path runs each
+  // image's chain on its own stream (the two Sobels fork onto a second
+  // stream after an event), so independent stages and independent images
+  // overlap across pool workers. With one worker the stream path degrades to
+  // the serial schedule.
+  {
+    const Index np = 1024;
+    const int kImages = 4;
+    std::vector<float> gauss(25, 0.04f);
+    const std::vector<float> sobel_x = {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+    const std::vector<float> sobel_y = {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+    std::vector<Grid2D<float>> img, blur, gx, gy;
+    for (int i = 0; i < kImages; ++i) {
+      img.emplace_back(np, np);
+      fill_random(img.back(), 10 + i);
+      blur.emplace_back(np, np);
+      gx.emplace_back(np, np);
+      gy.emplace_back(np, np);
+    }
+
+    long long pipeline_blocks = 0;
+    auto serial_pass = [&] {
+      pipeline_blocks = 0;
+      for (int i = 0; i < kImages; ++i) {
+        pipeline_blocks += core::conv2d_ssam<float>(arch, img[static_cast<std::size_t>(i)].cview(),
+                                                    gauss, 5, 5,
+                                                    blur[static_cast<std::size_t>(i)].view())
+                               .blocks_total;
+        pipeline_blocks += core::conv2d_ssam<float>(arch, blur[static_cast<std::size_t>(i)].cview(),
+                                                    sobel_x, 3, 3,
+                                                    gx[static_cast<std::size_t>(i)].view())
+                               .blocks_total;
+        pipeline_blocks += core::conv2d_ssam<float>(arch, blur[static_cast<std::size_t>(i)].cview(),
+                                                    sobel_y, 3, 3,
+                                                    gy[static_cast<std::size_t>(i)].view())
+                               .blocks_total;
+      }
+    };
+    auto stream_pass = [&] {
+      std::vector<std::unique_ptr<sim::Stream>> main_streams, fork_streams;
+      for (int i = 0; i < kImages; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        main_streams.push_back(std::make_unique<sim::Stream>());
+        fork_streams.push_back(std::make_unique<sim::Stream>());
+        sim::Stream& s1 = *main_streams.back();
+        sim::Stream& s2 = *fork_streams.back();
+        core::conv2d_ssam_async<float>(s1, arch, img[ui].cview(), gauss, 5, 5,
+                                       blur[ui].view());
+        const sim::Event blurred = s1.record();
+        core::conv2d_ssam_async<float>(s1, arch, blur[ui].cview(), sobel_x, 3, 3,
+                                       gx[ui].view());
+        s2.wait(blurred);
+        core::conv2d_ssam_async<float>(s2, arch, blur[ui].cview(), sobel_y, 3, 3,
+                                       gy[ui].view());
+      }
+      for (auto& s : main_streams) s->synchronize();
+      for (auto& s : fork_streams) s->synchronize();
+    };
+
+    KernelResult r;
+    r.name = "pipeline_blur_sobel_x4";
+    r.cells = static_cast<double>(np) * np * kImages * 3;  // 3 stages per image
+    r.flops_per_cell = (2.0 * 25 + 2.0 * 9 + 2.0 * 9) / 3.0;
+    const auto [stream_t, serial_t] = best_time_interleaved(stream_pass, serial_pass);
+    r.seconds = stream_t;
+    r.serial_seconds = serial_t;
+    r.blocks = pipeline_blocks;
+    std::printf("%-24s %10.3f ms  (serial %10.3f ms, overlap %.2fx, %d workers)\n",
+                r.name.c_str(), r.seconds * 1e3, r.serial_seconds * 1e3,
+                r.overlap_speedup(), ThreadPool::global().size());
     results.push_back(r);
   }
 

@@ -1,44 +1,13 @@
 // Host-side parallel loops.
 //
-// The functional simulator executes independent thread blocks; OpenMP (when
-// available) parallelizes across host cores. Falls back to serial execution.
+// The functional simulator executes independent thread blocks across host
+// cores. Since the launch-queue refactor these loops run on the persistent
+// work-stealing ssam::ThreadPool (common/thread_pool.hpp) instead of
+// per-launch OpenMP regions: no fork/join per kernel launch, per-worker
+// state survives across launches, and non-OpenMP builds stay parallel
+// (std::thread + ssam::hardware_concurrency()). `parallel_for` and
+// `parallel_for_pooled` are defined in thread_pool.hpp; this header remains
+// the conventional include for call sites that only need the loops.
 #pragma once
 
-#include <cstdint>
-#include <utility>
-
-namespace ssam {
-
-/// Runs fn(i) for i in [0, n). fn must be safe to run concurrently for
-/// distinct i (blocks write disjoint output regions).
-template <typename Fn>
-void parallel_for(std::int64_t n, Fn&& fn) {
-#if defined(SSAM_HAVE_OPENMP)
-#pragma omp parallel for schedule(dynamic, 8)
-  for (std::int64_t i = 0; i < n; ++i) fn(i);
-#else
-  for (std::int64_t i = 0; i < n; ++i) fn(i);
-#endif
-}
-
-/// Chunked parallel loop with one pooled state object per worker thread:
-/// `make_state()` runs once per worker (inside the parallel region), then
-/// `fn(i, state)` is called for every index the worker claims. This is how
-/// the functional simulator reuses one BlockContext per host thread instead
-/// of reconstructing (and re-allocating) it for every block.
-template <typename MakeState, typename Fn>
-void parallel_for_pooled(std::int64_t n, MakeState&& make_state, Fn&& fn) {
-#if defined(SSAM_HAVE_OPENMP)
-#pragma omp parallel
-  {
-    auto state = make_state();
-#pragma omp for schedule(dynamic, 16)
-    for (std::int64_t i = 0; i < n; ++i) fn(i, state);
-  }
-#else
-  auto state = make_state();
-  for (std::int64_t i = 0; i < n; ++i) fn(i, state);
-#endif
-}
-
-}  // namespace ssam
+#include "common/thread_pool.hpp"

@@ -1,0 +1,150 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace ssam {
+
+namespace {
+
+thread_local const ThreadPool* tls_owner_pool = nullptr;
+
+}  // namespace
+
+int hardware_concurrency() {
+  if (const char* env = std::getenv("SSAM_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads < 1 ? 1 : threads;
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Worker>());
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_m_);
+    stop_.store(true, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(Task task) {
+  const std::size_t slot =
+      static_cast<std::size_t>(rr_.fetch_add(1, std::memory_order_relaxed)) %
+      queues_.size();
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->m);
+    queues_[slot]->q.push_back(std::move(task));
+  }
+  {
+    // pending_ is part of the sleep predicate: updating it under sleep_m_
+    // (like the destructor's stop_ store) is what keeps the notify from
+    // landing in a worker's predicate-check-to-block window and being lost.
+    std::lock_guard<std::mutex> lock(sleep_m_);
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  sleep_cv_.notify_all();
+}
+
+bool ThreadPool::try_get_task(int self, Task& out) {
+  // Own deque first (front = oldest), then steal from siblings' backs.
+  const int n = static_cast<int>(queues_.size());
+  for (int k = 0; k < n; ++k) {
+    const int victim = (self + k) % n;
+    Worker& w = *queues_[static_cast<std::size_t>(victim)];
+    std::lock_guard<std::mutex> lock(w.m);
+    if (w.q.empty()) continue;
+    if (victim == self) {
+      out = std::move(w.q.front());
+      w.q.pop_front();
+    } else {
+      out = std::move(w.q.back());
+      w.q.pop_back();
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_main(int self) {
+  tls_owner_pool = this;
+  Task task;
+  for (;;) {
+    if (try_get_task(self, task)) {
+      task();
+      task = nullptr;  // release captures promptly
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(sleep_m_);
+    sleep_cv_.wait(lock, [&] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+bool ThreadPool::on_worker_thread() const { return tls_owner_pool == this; }
+
+void ThreadPool::spawn_helpers(const std::shared_ptr<RunState>& st, std::int64_t chunks) {
+  const std::int64_t cap = static_cast<std::int64_t>(size());
+  const int helpers = static_cast<int>(chunks - 1 < cap ? chunks - 1 : cap);
+  for (int h = 0; h < helpers; ++h) {
+    submit([st] {
+      {
+        std::lock_guard<std::mutex> lock(st->m);
+        // Everything already claimed: the caller may have returned and the
+        // callable behind `participant` may be gone. Exit without touching
+        // it.
+        if (st->cursor.load(std::memory_order_relaxed) >= st->n) return;
+        ++st->active_helpers;
+      }
+      st->participant();
+      {
+        std::lock_guard<std::mutex> lock(st->m);
+        --st->active_helpers;
+        if (st->completed >= st->n && st->active_helpers == 0) st->cv.notify_all();
+      }
+    });
+  }
+}
+
+namespace {
+
+std::mutex g_global_pool_m;
+std::unique_ptr<ThreadPool> g_global_pool;
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_pool_m);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>(hardware_concurrency());
+  return *g_global_pool;
+}
+
+void ThreadPool::reset_global(int threads) {
+  std::unique_ptr<ThreadPool> fresh = std::make_unique<ThreadPool>(threads);
+  std::unique_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_global_pool_m);
+    old = std::move(g_global_pool);
+    g_global_pool = std::move(fresh);
+  }
+  // `old` joins its workers here, outside the registry lock.
+}
+
+}  // namespace ssam

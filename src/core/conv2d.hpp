@@ -12,10 +12,13 @@
 // Borders replicate (NPP FilterBorder semantics).
 #pragma once
 
+#include <memory>
 #include <span>
+#include <vector>
 
 #include "common/grid.hpp"
 #include "core/kernel_common.hpp"
+#include "gpusim/stream.hpp"
 #include "rcache/blocking.hpp"
 #include "rcache/register_cache.hpp"
 
@@ -33,43 +36,64 @@ struct ConvOptions {
   return (p + filter_n - 1) + p + 12;
 }
 
-/// Launches the SSAM convolution of `in` (W x H) with an M x N filter
-/// stored row-major (w[n*M + m]). Functional mode fills `out` completely;
-/// timing mode executes a sampled subset of blocks (outputs of unsampled
-/// blocks are left untouched) and returns extrapolated statistics.
+namespace detail {
+
+/// Validated geometry + launch config shared by the sync and async entry
+/// points.
+struct Conv2dSetup {
+  Blocking2D geom;
+  sim::LaunchConfig cfg;
+  int m = 0;
+  int n = 0;
+  int cx = 0;
+  int cy = 0;
+  Index width = 0;
+  Index height = 0;
+};
+
 template <typename T>
-KernelStats conv2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in,
-                        std::span<const T> weights, int filter_m, int filter_n,
-                        GridView2D<T> out, const ConvOptions& opt = {},
-                        ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+[[nodiscard]] Conv2dSetup conv2d_setup(const GridView2D<const T>& in,
+                                       std::size_t weight_count, int filter_m,
+                                       int filter_n, const ConvOptions& opt) {
   SSAM_REQUIRE(filter_m >= 1 && filter_n >= 1, "filter extents must be positive");
   SSAM_REQUIRE(filter_m <= sim::kWarpSize, "filter wider than a warp");
   SSAM_REQUIRE(opt.p >= 1 && opt.p <= kMaxOutputsPerThread,
                "sliding window length exceeds one warp");
-  SSAM_REQUIRE(static_cast<Index>(weights.size()) ==
+  SSAM_REQUIRE(static_cast<Index>(weight_count) ==
                    static_cast<Index>(filter_m) * filter_n,
                "weight count mismatch");
-  const int m = filter_m;
-  const int n = filter_n;
-  const int cx = (m - 1) / 2;
-  const int cy = (n - 1) / 2;
-  const Index width = in.width();
-  const Index height = in.height();
+  Conv2dSetup s;
+  s.m = filter_m;
+  s.n = filter_n;
+  s.cx = (filter_m - 1) / 2;
+  s.cy = (filter_n - 1) / 2;
+  s.width = in.width();
+  s.height = in.height();
+  s.geom.span = s.m - 1;
+  s.geom.dx_min = -s.cx;
+  s.geom.rows_halo = s.n - 1;
+  s.geom.p = opt.p;
+  s.geom.block_threads = opt.block_threads;
+  s.cfg.grid = s.geom.grid(s.width, s.height);
+  s.cfg.block_threads = opt.block_threads;
+  s.cfg.regs_per_thread = conv2d_ssam_regs(s.n, opt.p);
+  return s;
+}
 
-  Blocking2D geom;
-  geom.span = m - 1;
-  geom.dx_min = -cx;
-  geom.rows_halo = n - 1;
-  geom.p = opt.p;
-  geom.block_threads = opt.block_threads;
-
-  sim::LaunchConfig cfg;
-  cfg.grid = geom.grid(width, height);
-  cfg.block_threads = opt.block_threads;
-  cfg.regs_per_thread = conv2d_ssam_regs(n, opt.p);
-
-  const T* wgt = weights.data();
-  auto body = [&, m, n, cx, cy, width, height, geom, wgt](auto& blk) {
+/// Mode-generic conv2d body. Every capture is by value (views, geometry, the
+/// raw weight pointer) so the identical body serves synchronous launches and
+/// stream ops that outlive the caller's frame.
+template <typename T>
+[[nodiscard]] auto make_conv2d_body(const Conv2dSetup& s, GridView2D<const T> in,
+                                    const T* wgt, GridView2D<T> out) {
+  const Blocking2D geom = s.geom;
+  const int m = s.m;
+  const int n = s.n;
+  const int cx = s.cx;
+  const int cy = s.cy;
+  const Index width = s.width;
+  const Index height = s.height;
+  return [=](auto& blk) {
     // Step 1 (Listing 1 lines 9-12): weights to shared memory.
     Smem<T> smem = blk.template alloc_smem<T>(m * n);
     cooperative_load_to_smem(blk, wgt, smem, m * n);
@@ -105,8 +129,39 @@ KernelStats conv2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in
                        [&](int i) -> const Reg<T>& { return result[i]; });
     }
   };
+}
 
-  return sim::launch(arch, cfg, body, mode, sample);
+}  // namespace detail
+
+/// Launches the SSAM convolution of `in` (W x H) with an M x N filter
+/// stored row-major (w[n*M + m]). Functional mode fills `out` completely;
+/// timing mode executes a sampled subset of blocks (outputs of unsampled
+/// blocks are left untouched) and returns extrapolated statistics.
+template <typename T>
+KernelStats conv2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                        std::span<const T> weights, int filter_m, int filter_n,
+                        GridView2D<T> out, const ConvOptions& opt = {},
+                        ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  const detail::Conv2dSetup s =
+      detail::conv2d_setup(in, weights.size(), filter_m, filter_n, opt);
+  auto body = detail::make_conv2d_body<T>(s, in, weights.data(), out);
+  return sim::launch(arch, s.cfg, body, mode, sample);
+}
+
+/// Enqueues the convolution on `stream` and returns immediately. The weights
+/// are copied into the op; `in`/`out` storage (and `arch`) must stay alive
+/// until the stream or returned event is synchronized.
+template <typename T>
+sim::Event conv2d_ssam_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                             const GridView2D<const T>& in, std::span<const T> weights,
+                             int filter_m, int filter_n, GridView2D<T> out,
+                             const ConvOptions& opt = {}) {
+  const detail::Conv2dSetup s =
+      detail::conv2d_setup(in, weights.size(), filter_m, filter_n, opt);
+  auto owned = std::make_shared<std::vector<T>>(weights.begin(), weights.end());
+  auto body = detail::make_conv2d_body<T>(s, in, owned->data(), out);
+  return stream.launch(arch, s.cfg,
+                       [owned, body](auto& blk) { body(blk); });
 }
 
 }  // namespace ssam::core

@@ -11,6 +11,7 @@
 #pragma once
 
 #include "core/kernel_common.hpp"
+#include "gpusim/stream.hpp"
 
 namespace ssam::core {
 
@@ -20,30 +21,50 @@ struct GemmOptions {
 
 [[nodiscard]] inline int gemm_ssam_regs(int p) { return p + 18; }
 
-/// C(MxN) = A(MxK) * B(KxN), row-major, all dense.
+namespace detail {
+
+struct GemmSetup {
+  sim::LaunchConfig cfg;
+  Index m = 0;
+  Index k = 0;
+  Index n = 0;
+  int warps = 0;
+  int p = 0;
+};
+
 template <typename T>
-KernelStats gemm_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& a,
-                      const GridView2D<const T>& b, GridView2D<T> c,
-                      const GemmOptions& opt = {}, ExecMode mode = ExecMode::kFunctional,
-                      SampleSpec sample = {}) {
-  const Index m = a.height();
-  const Index k = a.width();
-  const Index n = b.width();
-  SSAM_REQUIRE(b.height() == k && c.width() == n && c.height() == m,
+[[nodiscard]] GemmSetup gemm_setup(const GridView2D<const T>& a,
+                                   const GridView2D<const T>& b,
+                                   const GridView2D<T>& c, const GemmOptions& opt) {
+  GemmSetup s;
+  s.m = a.height();
+  s.k = a.width();
+  s.n = b.width();
+  SSAM_REQUIRE(b.height() == s.k && c.width() == s.n && c.height() == s.m,
                "gemm extent mismatch");
   constexpr int kBlockThreads = 128;
-  const int warps = kBlockThreads / sim::kWarpSize;
-  const int p = opt.p;
-  SSAM_REQUIRE(p >= 1 && p <= kMaxOutputsPerThread,
+  s.warps = kBlockThreads / sim::kWarpSize;
+  s.p = opt.p;
+  SSAM_REQUIRE(s.p >= 1 && s.p <= kMaxOutputsPerThread,
                "accumulator rows per warp exceed the inline bound");
+  s.cfg.grid =
+      Dim3{static_cast<int>(ceil_div(s.n, sim::kWarpSize)),
+           static_cast<int>(ceil_div(s.m, static_cast<long long>(s.warps) * s.p)), 1};
+  s.cfg.block_threads = kBlockThreads;
+  s.cfg.regs_per_thread = gemm_ssam_regs(s.p);
+  return s;
+}
 
-  sim::LaunchConfig cfg;
-  cfg.grid = Dim3{static_cast<int>(ceil_div(n, sim::kWarpSize)),
-                  static_cast<int>(ceil_div(m, static_cast<long long>(warps) * p)), 1};
-  cfg.block_threads = kBlockThreads;
-  cfg.regs_per_thread = gemm_ssam_regs(p);
-
-  auto body = [&, m, k, n, warps, p](auto& blk) {
+/// Mode-generic GEMM body; views captured by value, stream-safe.
+template <typename T>
+[[nodiscard]] auto make_gemm_body(const GemmSetup& s, GridView2D<const T> a,
+                                  GridView2D<const T> b, GridView2D<T> c) {
+  const Index m = s.m;
+  const Index k = s.k;
+  const Index n = s.n;
+  const int warps = s.warps;
+  const int p = s.p;
+  return [=](auto& blk) {
     for (int w = 0; w < warps; ++w) {
       auto& wc = blk.warp(w);
       const Index j0 = static_cast<Index>(blk.id().x) * sim::kWarpSize;  // C columns
@@ -85,8 +106,28 @@ KernelStats gemm_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& a,
       }
     }
   };
+}
 
-  return sim::launch(arch, cfg, body, mode, sample);
+}  // namespace detail
+
+/// C(MxN) = A(MxK) * B(KxN), row-major, all dense.
+template <typename T>
+KernelStats gemm_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& a,
+                      const GridView2D<const T>& b, GridView2D<T> c,
+                      const GemmOptions& opt = {}, ExecMode mode = ExecMode::kFunctional,
+                      SampleSpec sample = {}) {
+  const detail::GemmSetup s = detail::gemm_setup(a, b, c, opt);
+  auto body = detail::make_gemm_body<T>(s, a, b, c);
+  return sim::launch(arch, s.cfg, body, mode, sample);
+}
+
+/// Enqueues the GEMM on `stream`; A/B/C storage must outlive synchronization.
+template <typename T>
+sim::Event gemm_ssam_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                           const GridView2D<const T>& a, const GridView2D<const T>& b,
+                           GridView2D<T> c, const GemmOptions& opt = {}) {
+  const detail::GemmSetup s = detail::gemm_setup(a, b, c, opt);
+  return stream.launch(arch, s.cfg, detail::make_gemm_body<T>(s, a, b, c));
 }
 
 /// Scalar reference for tests.

@@ -56,4 +56,36 @@ IterationStats iterate_stencil3d(const sim::ArchSpec& arch, Grid3D<T>& a, Grid3D
   return r;
 }
 
+/// Enqueues all `steps` functional sweeps on `stream` without any host-side
+/// join between steps (the stream's FIFO order replaces the per-step
+/// fork/join of the synchronous driver). `a` and `b` are swapped at enqueue
+/// time — their heap buffers alternate roles per step — so after the
+/// returned event signals, the final state is in `a`, exactly as with the
+/// synchronous driver. Both grids must stay alive until synchronization.
+template <typename T>
+sim::Event iterate_stencil2d_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                                   Grid2D<T>& a, Grid2D<T>& b, const StencilShape<T>& shape,
+                                   int steps, const StencilOptions& opt = {}) {
+  const SystolicPlan<T> plan = build_plan(shape.taps);
+  sim::Event last;
+  for (int s = 0; s < steps; ++s) {
+    last = stencil2d_ssam_async<T>(stream, arch, a.cview(), plan, b.view(), opt);
+    std::swap(a, b);
+  }
+  return last;
+}
+
+template <typename T>
+sim::Event iterate_stencil3d_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                                   Grid3D<T>& a, Grid3D<T>& b, const StencilShape<T>& shape,
+                                   int steps, const Stencil3DOptions& opt = {}) {
+  const SystolicPlan<T> plan = build_plan(shape.taps);
+  sim::Event last;
+  for (int s = 0; s < steps; ++s) {
+    last = stencil3d_ssam_async<T>(stream, arch, a.cview(), plan, b.view(), opt);
+    std::swap(a, b);
+  }
+  return last;
+}
+
 }  // namespace ssam::core

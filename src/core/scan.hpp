@@ -7,10 +7,12 @@
 // block scan via shared memory -> recursive scan of block sums -> offset add.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "core/kernel_common.hpp"
+#include "gpusim/stream.hpp"
 
 namespace ssam::core {
 
@@ -25,37 +27,23 @@ template <typename T, typename Warp>
   return v;
 }
 
-/// Device-wide inclusive scan. Returns the stats of every launched kernel
-/// (top-level pass, recursive block-sum scans, offset-add passes).
+namespace detail {
+
+inline constexpr int kScanBlockThreads = 256;
+
+/// Top-level scan pass: per-block inclusive scan of `src` into `dst`, block
+/// totals into `sums`. Captures raw pointers by value — callers own the
+/// storage (the async wrapper parks shared_ptrs in the op alongside this
+/// body).
 template <typename T>
-std::vector<KernelStats> scan_inclusive(const sim::ArchSpec& arch, std::span<const T> in,
-                                        std::span<T> out,
-                                        ExecMode mode = ExecMode::kFunctional,
-                                        SampleSpec sample = {}) {
-  SSAM_REQUIRE(in.size() == out.size(), "scan extent mismatch");
-  SSAM_REQUIRE(!in.empty(), "empty scan");
-  const Index n = static_cast<Index>(in.size());
-  constexpr int kBlockThreads = 256;
-  const int warps = kBlockThreads / sim::kWarpSize;
-  const long long blocks = ceil_div(n, kBlockThreads);
-
-  std::vector<T> block_sums(static_cast<std::size_t>(blocks));
-  std::vector<KernelStats> all;
-
-  sim::LaunchConfig cfg;
-  cfg.grid = Dim3{static_cast<int>(blocks), 1, 1};
-  cfg.block_threads = kBlockThreads;
-  cfg.regs_per_thread = 24;
-
-  const T* src = in.data();
-  T* dst = out.data();
-  T* sums = block_sums.data();
-  auto body = [&, n, warps](auto& blk) {
+[[nodiscard]] auto make_scan_block_body(const T* src, T* dst, T* sums, Index n,
+                                        int warps) {
+  return [=](auto& blk) {
     Smem<T> warp_totals = blk.template alloc_smem<T>(warps);
     InlineVec<Reg<T>, kMaxWarpsPerBlock> scanned(warps);
     for (int w = 0; w < warps; ++w) {
       auto& wc = blk.warp(w);
-      const Index base = static_cast<Index>(blk.id().x) * kBlockThreads +
+      const Index base = static_cast<Index>(blk.id().x) * kScanBlockThreads +
                          static_cast<Index>(w) * sim::kWarpSize;
       const Reg<Index> idx = wc.template iota<Index>(base, 1);
       Pred active = wc.cmp_lt(idx, n);
@@ -77,7 +65,7 @@ std::vector<KernelStats> scan_inclusive(const sim::ArchSpec& arch, std::span<con
         offset = wc.add(offset, t);
       }
       Reg<T> v = wc.add(scanned[w], offset);
-      const Index base = static_cast<Index>(blk.id().x) * kBlockThreads +
+      const Index base = static_cast<Index>(blk.id().x) * kScanBlockThreads +
                          static_cast<Index>(w) * sim::kWarpSize;
       const Reg<Index> idx = wc.template iota<Index>(base, 1);
       Pred active = wc.cmp_lt(idx, n);
@@ -90,6 +78,57 @@ std::vector<KernelStats> scan_inclusive(const sim::ArchSpec& arch, std::span<con
       }
     }
   };
+}
+
+/// Offset-add pass: block b adds the scanned sum of blocks [0, b).
+template <typename T>
+[[nodiscard]] auto make_scan_add_body(const T* offs, T* dst, Index n) {
+  return [=](auto& blk) {
+    if (blk.id().x == 0) return;  // block 0 needs no offset
+    for (int w = 0; w < blk.warp_count(); ++w) {
+      auto& wc = blk.warp(w);
+      const Reg<T> off = wc.load_global(offs, wc.template uniform<Index>(blk.id().x - 1));
+      const Index base = static_cast<Index>(blk.id().x) * kScanBlockThreads +
+                         static_cast<Index>(w) * sim::kWarpSize;
+      const Reg<Index> idx = wc.template iota<Index>(base, 1);
+      Pred active = wc.cmp_lt(idx, n);
+      Reg<T> v = wc.load_global(dst, idx, &active);
+      v = wc.add(v, off);
+      wc.store_global(dst, idx, v, &active);
+    }
+  };
+}
+
+[[nodiscard]] inline sim::LaunchConfig scan_config(long long blocks) {
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(blocks), 1, 1};
+  cfg.block_threads = kScanBlockThreads;
+  cfg.regs_per_thread = 24;
+  return cfg;
+}
+
+}  // namespace detail
+
+/// Device-wide inclusive scan. Returns the stats of every launched kernel
+/// (top-level pass, recursive block-sum scans, offset-add passes).
+template <typename T>
+std::vector<KernelStats> scan_inclusive(const sim::ArchSpec& arch, std::span<const T> in,
+                                        std::span<T> out,
+                                        ExecMode mode = ExecMode::kFunctional,
+                                        SampleSpec sample = {}) {
+  SSAM_REQUIRE(in.size() == out.size(), "scan extent mismatch");
+  SSAM_REQUIRE(!in.empty(), "empty scan");
+  const Index n = static_cast<Index>(in.size());
+  constexpr int kBlockThreads = detail::kScanBlockThreads;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const long long blocks = ceil_div(n, kBlockThreads);
+
+  std::vector<T> block_sums(static_cast<std::size_t>(blocks));
+  std::vector<KernelStats> all;
+
+  const sim::LaunchConfig cfg = detail::scan_config(blocks);
+  auto body = detail::make_scan_block_body<T>(in.data(), out.data(), block_sums.data(),
+                                              n, warps);
   all.push_back(sim::launch(arch, cfg, body, mode, sample));
 
   if (blocks > 1) {
@@ -99,24 +138,45 @@ std::vector<KernelStats> scan_inclusive(const sim::ArchSpec& arch, std::span<con
                                  {scanned_sums.data(), scanned_sums.size()}, mode, sample);
     all.insert(all.end(), sub.begin(), sub.end());
 
-    const T* offs = scanned_sums.data();
-    auto add_body = [&, n](auto& blk) {
-      if (blk.id().x == 0) return;  // block 0 needs no offset
-      for (int w = 0; w < blk.warp_count(); ++w) {
-        auto& wc = blk.warp(w);
-        const Reg<T> off = wc.load_global(offs, wc.template uniform<Index>(blk.id().x - 1));
-        const Index base = static_cast<Index>(blk.id().x) * kBlockThreads +
-                           static_cast<Index>(w) * sim::kWarpSize;
-        const Reg<Index> idx = wc.template iota<Index>(base, 1);
-        Pred active = wc.cmp_lt(idx, n);
-        Reg<T> v = wc.load_global(dst, idx, &active);
-        v = wc.add(v, off);
-        wc.store_global(dst, idx, v, &active);
-      }
-    };
+    auto add_body = detail::make_scan_add_body<T>(scanned_sums.data(), out.data(), n);
     all.push_back(sim::launch(arch, cfg, add_body, mode, sample));
   }
   return all;
+}
+
+/// Enqueues the device-wide scan (all passes, in order) on `stream` and
+/// returns an event for the final pass. Intermediate block-sum buffers are
+/// owned by the ops; `in`/`out` must stay alive until synchronization.
+template <typename T>
+sim::Event scan_inclusive_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                                std::span<const T> in, std::span<T> out) {
+  SSAM_REQUIRE(in.size() == out.size(), "scan extent mismatch");
+  SSAM_REQUIRE(!in.empty(), "empty scan");
+  const Index n = static_cast<Index>(in.size());
+  constexpr int kBlockThreads = detail::kScanBlockThreads;
+  const int warps = kBlockThreads / sim::kWarpSize;
+  const long long blocks = ceil_div(n, kBlockThreads);
+
+  auto block_sums = std::make_shared<std::vector<T>>(static_cast<std::size_t>(blocks));
+  const sim::LaunchConfig cfg = detail::scan_config(blocks);
+  auto body = detail::make_scan_block_body<T>(in.data(), out.data(), block_sums->data(),
+                                              n, warps);
+  sim::Event last = stream.launch(
+      arch, cfg, [block_sums, body](auto& blk) { body(blk); });
+
+  if (blocks > 1) {
+    auto scanned_sums =
+        std::make_shared<std::vector<T>>(static_cast<std::size_t>(blocks));
+    // The recursive passes enqueue in stream order, so they see the block
+    // sums the first pass wrote.
+    scan_inclusive_async<T>(stream, arch, {block_sums->data(), block_sums->size()},
+                            {scanned_sums->data(), scanned_sums->size()});
+    auto add_body = detail::make_scan_add_body<T>(scanned_sums->data(), out.data(), n);
+    last = stream.launch(arch, cfg, [block_sums, scanned_sums, add_body](auto& blk) {
+      add_body(blk);
+    });
+  }
+  return last;
 }
 
 }  // namespace ssam::core

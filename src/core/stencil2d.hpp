@@ -12,6 +12,7 @@
 #include "core/dgraph.hpp"
 #include "core/kernel_common.hpp"
 #include "core/stencil_shape.hpp"
+#include "gpusim/stream.hpp"
 #include "rcache/blocking.hpp"
 #include "rcache/register_cache.hpp"
 
@@ -26,37 +27,54 @@ struct StencilOptions {
   return (p + rows_halo) + p + 10;
 }
 
-/// Runs one stencil sweep over `in` into `out` using the plan's shift
-/// schedule. The plan must be 2D (single dz = 0 pass).
+namespace detail {
+
+/// Validated geometry + launch config shared by the sync and async entry
+/// points.
+struct Stencil2dSetup {
+  Blocking2D geom;
+  sim::LaunchConfig cfg;
+  int dy_min = 0;
+  int anchor = 0;
+  Index width = 0;
+  Index height = 0;
+};
+
 template <typename T>
-KernelStats stencil2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in,
-                           const SystolicPlan<T>& plan, GridView2D<T> out,
-                           const StencilOptions& opt = {},
-                           ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+[[nodiscard]] Stencil2dSetup stencil2d_setup(const GridView2D<const T>& in,
+                                             const SystolicPlan<T>& plan,
+                                             const StencilOptions& opt) {
   SSAM_REQUIRE(plan.passes.size() == 1 && plan.passes.front().dz == 0,
                "stencil2d_ssam needs a single-plane plan");
-  const ColumnPass<T>& pass = plan.passes.front();
   SSAM_REQUIRE(opt.p >= 1 && opt.p <= kMaxOutputsPerThread,
                "sliding window length exceeds one warp");
-  const Index width = in.width();
-  const Index height = in.height();
+  Stencil2dSetup s;
+  s.width = in.width();
+  s.height = in.height();
+  s.geom.span = plan.span();
+  s.geom.dx_min = plan.dx_min;
+  s.geom.rows_halo = plan.rows_halo();
+  s.geom.p = opt.p;
+  s.geom.block_threads = opt.block_threads;
+  s.cfg.grid = s.geom.grid(s.width, s.height);
+  s.cfg.block_threads = opt.block_threads;
+  s.cfg.regs_per_thread = stencil2d_ssam_regs(s.geom.rows_halo, opt.p);
+  s.dy_min = plan.dy_min;
+  s.anchor = plan.anchor_dx;
+  return s;
+}
 
-  Blocking2D geom;
-  geom.span = plan.span();
-  geom.dx_min = plan.dx_min;
-  geom.rows_halo = plan.rows_halo();
-  geom.p = opt.p;
-  geom.block_threads = opt.block_threads;
-
-  sim::LaunchConfig cfg;
-  cfg.grid = geom.grid(width, height);
-  cfg.block_threads = opt.block_threads;
-  cfg.regs_per_thread = stencil2d_ssam_regs(geom.rows_halo, opt.p);
-
-  const int dy_min = plan.dy_min;
-  const int anchor = plan.anchor_dx;
-
-  auto body = [&, geom, dy_min, anchor, width, height](auto& blk) {
+/// Mode-generic stencil body. The column pass is captured *by value* (it
+/// owns its tap vectors) so the body is self-contained for stream ops.
+template <typename T>
+[[nodiscard]] auto make_stencil2d_body(const Stencil2dSetup& s, GridView2D<const T> in,
+                                       ColumnPass<T> pass, GridView2D<T> out) {
+  const Blocking2D geom = s.geom;
+  const int dy_min = s.dy_min;
+  const int anchor = s.anchor;
+  const Index width = s.width;
+  const Index height = s.height;
+  return [=, pass = std::move(pass)](auto& blk) {
     for (int w = 0; w < blk.warp_count(); ++w) {
       auto& wc = blk.warp(w);
       const long long warp_linear =
@@ -85,8 +103,20 @@ KernelStats stencil2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>&
                        [&](int i) -> const Reg<T>& { return result[i]; });
     }
   };
+}
 
-  return sim::launch(arch, cfg, body, mode, sample);
+}  // namespace detail
+
+/// Runs one stencil sweep over `in` into `out` using the plan's shift
+/// schedule. The plan must be 2D (single dz = 0 pass).
+template <typename T>
+KernelStats stencil2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                           const SystolicPlan<T>& plan, GridView2D<T> out,
+                           const StencilOptions& opt = {},
+                           ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  const detail::Stencil2dSetup s = detail::stencil2d_setup(in, plan, opt);
+  auto body = detail::make_stencil2d_body<T>(s, in, plan.passes.front(), out);
+  return sim::launch(arch, s.cfg, body, mode, sample);
 }
 
 /// Convenience overload building the minimal plan from a shape.
@@ -96,6 +126,25 @@ KernelStats stencil2d_ssam(const sim::ArchSpec& arch, const GridView2D<const T>&
                            const StencilOptions& opt = {},
                            ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
   return stencil2d_ssam(arch, in, build_plan(shape.taps), out, opt, mode, sample);
+}
+
+/// Enqueues one stencil sweep on `stream` and returns immediately. The plan's
+/// column pass is copied into the op; `in`/`out` storage (and `arch`) must
+/// stay alive until the stream or returned event is synchronized.
+template <typename T>
+sim::Event stencil2d_ssam_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                                const GridView2D<const T>& in, const SystolicPlan<T>& plan,
+                                GridView2D<T> out, const StencilOptions& opt = {}) {
+  const detail::Stencil2dSetup s = detail::stencil2d_setup(in, plan, opt);
+  auto body = detail::make_stencil2d_body<T>(s, in, plan.passes.front(), out);
+  return stream.launch(arch, s.cfg, std::move(body));
+}
+
+template <typename T>
+sim::Event stencil2d_ssam_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                                const GridView2D<const T>& in, const StencilShape<T>& shape,
+                                GridView2D<T> out, const StencilOptions& opt = {}) {
+  return stencil2d_ssam_async(stream, arch, in, build_plan(shape.taps), out, opt);
 }
 
 }  // namespace ssam::core

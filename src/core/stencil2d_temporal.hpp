@@ -30,16 +30,14 @@ struct TemporalSsamOptions {
   return 2 * c0 + 12;  // two live levels during the in-register relaxation
 }
 
+namespace detail {
+
 template <typename T>
-KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
-                                    const GridView2D<const T>& in,
-                                    const SystolicPlan<T>& plan, GridView2D<T> out,
-                                    const TemporalSsamOptions& opt = {},
-                                    ExecMode mode = ExecMode::kFunctional,
-                                    SampleSpec sample = {}) {
+[[nodiscard]] Stencil2dSetup stencil2d_temporal_setup(const GridView2D<const T>& in,
+                                                      const SystolicPlan<T>& plan,
+                                                      const TemporalSsamOptions& opt) {
   SSAM_REQUIRE(plan.passes.size() == 1 && plan.passes.front().dz == 0,
                "temporal SSAM kernel is 2D");
-  const ColumnPass<T>& pass = plan.passes.front();
   const int t = opt.t;
   const int span = plan.span();
   const int dy_span = plan.rows_halo();
@@ -49,25 +47,34 @@ KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
                "sliding window length exceeds one warp");
   SSAM_REQUIRE(opt.p + t * dy_span <= kMaxRegCacheRows,
                "fused steps exceed the register cache capacity");
-  const Index width = in.width();
-  const Index height = in.height();
+  Stencil2dSetup s;
+  s.width = in.width();
+  s.height = in.height();
+  s.geom.span = t * span;           // lanes consumed by t fused sweeps
+  s.geom.dx_min = t * plan.dx_min;  // leftmost input column offset
+  s.geom.rows_halo = t * dy_span;
+  s.geom.p = opt.p;
+  s.geom.block_threads = opt.block_threads;
+  s.cfg.grid = s.geom.grid(s.width, s.height);
+  s.cfg.block_threads = opt.block_threads;
+  s.cfg.regs_per_thread = stencil2d_ssam_temporal_regs(dy_span, t, opt.p);
+  s.dy_min = plan.dy_min;
+  s.anchor = plan.anchor_dx;
+  return s;
+}
 
-  Blocking2D geom;
-  geom.span = t * span;           // lanes consumed by t fused sweeps
-  geom.dx_min = t * plan.dx_min;  // leftmost input column offset
-  geom.rows_halo = t * dy_span;
-  geom.p = opt.p;
-  geom.block_threads = opt.block_threads;
-
-  sim::LaunchConfig cfg;
-  cfg.grid = geom.grid(width, height);
-  cfg.block_threads = opt.block_threads;
-  cfg.regs_per_thread = stencil2d_ssam_temporal_regs(dy_span, t, opt.p);
-
-  const int dy_min = plan.dy_min;
-  const int anchor = plan.anchor_dx;
-
-  auto body = [&, geom, dy_min, anchor, width, height, t, dy_span](auto& blk) {
+/// Mode-generic temporal body; all captures by value (pass owns its taps) so
+/// the body is stream-safe.
+template <typename T>
+[[nodiscard]] auto make_stencil2d_temporal_body(const Stencil2dSetup& s,
+                                                GridView2D<const T> in, ColumnPass<T> pass,
+                                                int t, int dy_span, GridView2D<T> out) {
+  const Blocking2D geom = s.geom;
+  const int dy_min = s.dy_min;
+  const int anchor = s.anchor;
+  const Index width = s.width;
+  const Index height = s.height;
+  return [=, pass = std::move(pass)](auto& blk) {
     for (int w = 0; w < blk.warp_count(); ++w) {
       auto& wc = blk.warp(w);
       const long long warp_linear =
@@ -112,8 +119,21 @@ KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
                        [&](int i) -> const Reg<T>& { return (*cur)[i]; });
     }
   };
+}
 
-  return sim::launch(arch, cfg, body, mode, sample);
+}  // namespace detail
+
+template <typename T>
+KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
+                                    const GridView2D<const T>& in,
+                                    const SystolicPlan<T>& plan, GridView2D<T> out,
+                                    const TemporalSsamOptions& opt = {},
+                                    ExecMode mode = ExecMode::kFunctional,
+                                    SampleSpec sample = {}) {
+  const detail::Stencil2dSetup s = detail::stencil2d_temporal_setup(in, plan, opt);
+  auto body = detail::make_stencil2d_temporal_body<T>(s, in, plan.passes.front(), opt.t,
+                                                      plan.rows_halo(), out);
+  return sim::launch(arch, s.cfg, body, mode, sample);
 }
 
 template <typename T>
@@ -124,6 +144,26 @@ KernelStats stencil2d_ssam_temporal(const sim::ArchSpec& arch,
                                     ExecMode mode = ExecMode::kFunctional,
                                     SampleSpec sample = {}) {
   return stencil2d_ssam_temporal(arch, in, build_plan(shape.taps), out, opt, mode, sample);
+}
+
+/// Enqueues the temporally-blocked sweep (t fused steps) on `stream`.
+template <typename T>
+sim::Event stencil2d_ssam_temporal_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                                         const GridView2D<const T>& in,
+                                         const SystolicPlan<T>& plan, GridView2D<T> out,
+                                         const TemporalSsamOptions& opt = {}) {
+  const detail::Stencil2dSetup s = detail::stencil2d_temporal_setup(in, plan, opt);
+  auto body = detail::make_stencil2d_temporal_body<T>(s, in, plan.passes.front(), opt.t,
+                                                      plan.rows_halo(), out);
+  return stream.launch(arch, s.cfg, std::move(body));
+}
+
+template <typename T>
+sim::Event stencil2d_ssam_temporal_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                                         const GridView2D<const T>& in,
+                                         const StencilShape<T>& shape, GridView2D<T> out,
+                                         const TemporalSsamOptions& opt = {}) {
+  return stencil2d_ssam_temporal_async(stream, arch, in, build_plan(shape.taps), out, opt);
 }
 
 }  // namespace ssam::core

@@ -16,6 +16,7 @@
 #include "core/dgraph.hpp"
 #include "core/kernel_common.hpp"
 #include "core/stencil_shape.hpp"
+#include "gpusim/stream.hpp"
 #include "rcache/blocking.hpp"
 #include "rcache/register_cache.hpp"
 
@@ -34,56 +35,94 @@ inline constexpr int kMaxBlockRegRows = 320;
   return (p + rows_halo) + p * passes + 12;
 }
 
+namespace detail {
+
+/// Validated geometry, launch config, and *owned* pass schedule shared by
+/// the sync and async entry points. Owning copies of the passes (rather
+/// than pointers into the caller's plan) is what makes the body
+/// stream-safe.
 template <typename T>
-KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>& in,
-                           const SystolicPlan<T>& plan, GridView3D<T> out,
-                           const Stencil3DOptions& opt = {},
-                           ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+struct Stencil3dSetup {
+  Blocking2D geom;
+  Blocking3D geom3;
+  sim::LaunchConfig cfg;
+  int dy_min = 0;
+  int anchor = 0;
+  int n_off = 0;
+  int vp = 0;
+  Index nx = 0;
+  Index ny = 0;
+  Index nz = 0;
+  bool has_center = false;
+  ColumnPass<T> center_pass;
+  std::vector<ColumnPass<T>> off_passes;  ///< dz != 0 passes, by value
+};
+
+template <typename T>
+[[nodiscard]] Stencil3dSetup<T> stencil3d_setup(const GridView3D<const T>& in,
+                                                const SystolicPlan<T>& plan,
+                                                const Stencil3DOptions& opt) {
   const int rz = plan.rz();
   SSAM_REQUIRE(opt.warps > 2 * rz, "need more warps than z halo planes");
   SSAM_REQUIRE(opt.p >= 1 && opt.p <= kMaxOutputsPerThread,
                "sliding window length exceeds one warp");
   SSAM_REQUIRE(opt.warps * opt.p <= kMaxBlockRegRows,
                "per-block partial-sum state exceeds the inline bound");
-  const Index nx = in.nx();
-  const Index ny = in.ny();
-  const Index nz = in.nz();
+  Stencil3dSetup<T> s;
+  s.nx = in.nx();
+  s.ny = in.ny();
+  s.nz = in.nz();
 
-  Blocking2D geom;  // in-plane geometry, anchored at the global dx extremes
-  geom.span = plan.span();
-  geom.dx_min = plan.dx_min;
-  geom.rows_halo = plan.rows_halo();
-  geom.p = opt.p;
-  geom.block_threads = opt.warps * sim::kWarpSize;
+  // In-plane geometry, anchored at the global dx extremes.
+  s.geom.span = plan.span();
+  s.geom.dx_min = plan.dx_min;
+  s.geom.rows_halo = plan.rows_halo();
+  s.geom.p = opt.p;
+  s.geom.block_threads = opt.warps * sim::kWarpSize;
 
-  Blocking3D geom3;
-  geom3.plane = geom;
-  geom3.rz = rz;
-  geom3.warps = opt.warps;
+  s.geom3.plane = s.geom;
+  s.geom3.rz = rz;
+  s.geom3.warps = opt.warps;
 
   // Off-plane passes (dz != 0) publish P rows of 32 lanes each to smem.
-  std::vector<const ColumnPass<T>*> off_passes;
-  const ColumnPass<T>* center_pass = nullptr;
   for (const auto& p : plan.passes) {
     if (p.dz == 0) {
-      center_pass = &p;
+      s.center_pass = p;
+      s.has_center = true;
     } else {
-      off_passes.push_back(&p);
+      s.off_passes.push_back(p);
     }
   }
-  const int n_off = static_cast<int>(off_passes.size());
+  s.n_off = static_cast<int>(s.off_passes.size());
 
-  sim::LaunchConfig cfg;
-  cfg.grid = geom3.grid(nx, ny, nz);
-  cfg.block_threads = geom3.block_threads();
-  cfg.regs_per_thread =
-      stencil3d_ssam_regs(geom.rows_halo, opt.p, static_cast<int>(plan.passes.size()));
+  s.cfg.grid = s.geom3.grid(s.nx, s.ny, s.nz);
+  s.cfg.block_threads = s.geom3.block_threads();
+  s.cfg.regs_per_thread =
+      stencil3d_ssam_regs(s.geom.rows_halo, opt.p, static_cast<int>(plan.passes.size()));
 
-  const int dy_min = plan.dy_min;
-  const int anchor = plan.anchor_dx;
-  const int vp = geom3.valid_planes();
+  s.dy_min = plan.dy_min;
+  s.anchor = plan.anchor_dx;
+  s.vp = s.geom3.valid_planes();
+  return s;
+}
 
-  auto body = [&, geom, geom3, dy_min, anchor, nx, ny, nz, vp, n_off](auto& blk) {
+/// Mode-generic 3D stencil body. The setup (including the owned passes) is
+/// captured by value, so the body outlives the caller's plan.
+template <typename T>
+[[nodiscard]] auto make_stencil3d_body(Stencil3dSetup<T> setup, GridView3D<const T> in,
+                                       GridView3D<T> out) {
+  return [s = std::move(setup), in, out](auto& blk) {
+    const Blocking2D& geom = s.geom;
+    const Blocking3D& geom3 = s.geom3;
+    const ColumnPass<T>* center_pass = s.has_center ? &s.center_pass : nullptr;
+    const std::vector<ColumnPass<T>>& off_passes = s.off_passes;
+    const int dy_min = s.dy_min;
+    const int anchor = s.anchor;
+    const int n_off = s.n_off;
+    const int vp = s.vp;
+    const Index nx = s.nx;
+    const Index ny = s.ny;
+    const Index nz = s.nz;
     const int warps = geom3.warps;
     const int p = geom.p;
     const int smem_elems = warps * std::max(1, n_off) * p * sim::kWarpSize;
@@ -124,8 +163,8 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
         center_sum[w * p + i] = s0;
 
         // dz != 0 passes go to shared memory.
-        for (int s = 0; s < n_off; ++s) {
-          const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(s)];
+        for (int op = 0; op < n_off; ++op) {
+          const ColumnPass<T>& pass = off_passes[static_cast<std::size_t>(op)];
           Reg<T> sum = wc.uniform(T{});
           for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
             if (ci > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
@@ -133,7 +172,7 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
               sum = wc.mad(rc.row(i + tap.dy - dy_min), tap.coeff, sum);
             }
           }
-          const Reg<int> sidx = wc.template iota<int>(smem_base(w, s, i), 1);
+          const Reg<int> sidx = wc.template iota<int>(smem_base(w, op, i), 1);
           wc.store_shared(published, sidx, sum);
         }
       }
@@ -150,14 +189,14 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
       store_valid_rows(wc, plane, col0 - anchor, static_cast<Index>(blk.id().y) * p, p,
                        geom.span, [&](int i) {
                          Reg<T> sum = center_sum[w * p + i];
-                         for (int s = 0; s < n_off; ++s) {
-                           const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(s)];
+                         for (int op = 0; op < n_off; ++op) {
+                           const ColumnPass<T>& pass = off_passes[static_cast<std::size_t>(op)];
                            const int producer = w + pass.dz;  // S_dz(z + dz) lives there
                            const int deficit = anchor - pass.dx_max;
                            Reg<int> sidx =
-                               wc.add(wc.lane_id(), smem_base(producer, s, i) - deficit);
-                           sidx = wc.clamp(sidx, smem_base(producer, s, i),
-                                           smem_base(producer, s, i) + sim::kWarpSize - 1);
+                               wc.add(wc.lane_id(), smem_base(producer, op, i) - deficit);
+                           sidx = wc.clamp(sidx, smem_base(producer, op, i),
+                                           smem_base(producer, op, i) + sim::kWarpSize - 1);
                            const Reg<T> v = wc.load_shared(published, sidx);
                            sum = wc.add(sum, v);
                          }
@@ -165,7 +204,18 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
                        });
     }
   };
+}
 
+}  // namespace detail
+
+template <typename T>
+KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>& in,
+                           const SystolicPlan<T>& plan, GridView3D<T> out,
+                           const Stencil3DOptions& opt = {},
+                           ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
+  detail::Stencil3dSetup<T> s = detail::stencil3d_setup(in, plan, opt);
+  const sim::LaunchConfig cfg = s.cfg;
+  auto body = detail::make_stencil3d_body<T>(std::move(s), in, out);
   return sim::launch(arch, cfg, body, mode, sample);
 }
 
@@ -175,6 +225,17 @@ KernelStats stencil3d_ssam(const sim::ArchSpec& arch, const GridView3D<const T>&
                            const Stencil3DOptions& opt = {},
                            ExecMode mode = ExecMode::kFunctional, SampleSpec sample = {}) {
   return stencil3d_ssam(arch, in, build_plan(shape.taps), out, opt, mode, sample);
+}
+
+/// Enqueues the 3D stencil sweep on `stream`; the pass schedule is copied
+/// into the op, `in`/`out` storage must outlive synchronization.
+template <typename T>
+sim::Event stencil3d_ssam_async(sim::Stream& stream, const sim::ArchSpec& arch,
+                                const GridView3D<const T>& in, const SystolicPlan<T>& plan,
+                                GridView3D<T> out, const Stencil3DOptions& opt = {}) {
+  detail::Stencil3dSetup<T> s = detail::stencil3d_setup(in, plan, opt);
+  const sim::LaunchConfig cfg = s.cfg;
+  return stream.launch(arch, cfg, detail::make_stencil3d_body<T>(std::move(s), in, out));
 }
 
 }  // namespace ssam::core

@@ -2,10 +2,13 @@
 // modes, occupancy, and the sampled-timing methodology.
 //
 // Two modes, specialized at compile time (see warp.hpp):
-//  * Functional — every block executes (host-parallel), no timing state at
-//    all: the block/warp contexts contain no scoreboards or counters, and
-//    one pooled BlockContext per host worker thread is `reset()` per block
-//    instead of reconstructed. Used by tests and examples to produce full,
+//  * Functional — every block executes, fanned out over the persistent
+//    work-stealing worker pool (common/thread_pool.hpp), with no timing
+//    state at all: the block/warp contexts contain no scoreboards or
+//    counters, and one pooled BlockContext per pool worker persists across
+//    *all* launches in the process (`reset()` per block, `rebind()` per
+//    launch — never reconstructed on the hot path). Used by tests, examples
+//    and the async stream API (gpusim/stream.hpp) to produce full,
 //    verifiable outputs as fast as the host allows.
 //  * Timing — a deterministic sample of blocks executes sequentially with
 //    caches and scoreboards live. Regular kernels do identical work per
@@ -17,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
@@ -49,7 +53,11 @@ struct SampleSpec {
 /// Execution context for one thread block, specialized on the execution
 /// mode. The functional specialization is pure compute state (warp vector +
 /// shared-memory arena) and is designed for reuse: `reset(id)` re-targets
-/// the same context at another block without touching the heap.
+/// the same context at another block without touching the heap, and
+/// `rebind()` re-targets it at another *launch* entirely — the launch queue
+/// keeps one context per pool worker alive across all launches in the
+/// process (the config is stored by value so no launch-local state is
+/// referenced).
 template <ExecMode M>
 class BlockContextT {
  public:
@@ -57,7 +65,7 @@ class BlockContextT {
 
   BlockContextT(const ArchSpec& arch, const LaunchConfig& cfg, BlockId id,
                 MemorySystem* mem = nullptr)
-      : arch_(&arch), cfg_(&cfg), id_(id), smem_(arch.smem_per_block) {
+      : arch_(&arch), cfg_(cfg), id_(id), smem_(arch.smem_per_block) {
     SSAM_REQUIRE(cfg.block_threads % kWarpSize == 0, "block size must be a warp multiple");
     warps_.reserve(static_cast<std::size_t>(cfg.warps_per_block()));
     for (int w = 0; w < cfg.warps_per_block(); ++w) {
@@ -73,9 +81,29 @@ class BlockContextT {
     smem_.reset();
   }
 
+  /// Whether `rebind` can re-target this context at a launch with the given
+  /// architecture and config without reconstructing warp or arena storage.
+  [[nodiscard]] bool compatible(const ArchSpec& arch, const LaunchConfig& cfg) const {
+    return cfg_.block_threads == cfg.block_threads &&
+           smem_.limit() == arch.smem_per_block;
+  }
+
+  /// Re-targets this context at a new launch (requires `compatible`).
+  /// Heap-free: the warp contexts re-point at the architecture and the
+  /// shared arena rewinds. Functional mode only — timing contexts carry
+  /// per-launch scoreboard state and are constructed per block.
+  void rebind(const ArchSpec& arch, const LaunchConfig& cfg)
+    requires(!kTimed)
+  {
+    arch_ = &arch;
+    cfg_ = cfg;
+    for (auto& w : warps_) w.rebind(arch);
+    smem_.reset();
+  }
+
   [[nodiscard]] const ArchSpec& arch() const { return *arch_; }
   [[nodiscard]] BlockId id() const { return id_; }
-  [[nodiscard]] Dim3 grid() const { return cfg_->grid; }
+  [[nodiscard]] Dim3 grid() const { return cfg_.grid; }
   [[nodiscard]] int warp_count() const { return static_cast<int>(warps_.size()); }
   [[nodiscard]] WarpContextT<M>& warp(int w) { return warps_[static_cast<std::size_t>(w)]; }
 
@@ -121,7 +149,7 @@ class BlockContextT {
 
  private:
   const ArchSpec* arch_;
-  const LaunchConfig* cfg_;
+  LaunchConfig cfg_;
   BlockId id_;
   SmemAllocator smem_;
   std::vector<WarpContextT<M>> warps_;
@@ -168,6 +196,75 @@ namespace detail {
   id.z = static_cast<int>(flat / (static_cast<long long>(grid.x) * grid.y));
   return id;
 }
+
+/// Per-thread cache of pooled functional contexts: one `BlockContext` per
+/// pool worker, persistent across *all* launches in the process. Keyed by
+/// (block_threads, shared-memory capacity) with a handful of LRU entries so
+/// interleaved streams launching kernels of different block shapes don't
+/// thrash context reconstruction.
+class FunctionalContextCache {
+ public:
+  [[nodiscard]] FunctionalBlockContext& acquire(const ArchSpec& arch,
+                                                const LaunchConfig& cfg) {
+    ++tick_;
+    Entry* victim = &entries_[0];
+    for (Entry& e : entries_) {
+      if (e.ctx != nullptr && e.ctx->compatible(arch, cfg)) {
+        e.last_use = tick_;
+        e.ctx->rebind(arch, cfg);
+        return *e.ctx;
+      }
+      if (e.ctx == nullptr ? victim->ctx != nullptr : (victim->ctx != nullptr &&
+                                                       e.last_use < victim->last_use)) {
+        victim = &e;
+      }
+    }
+    victim->ctx = std::make_unique<FunctionalBlockContext>(arch, cfg, BlockId{});
+    victim->last_use = tick_;
+    return *victim->ctx;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t last_use = 0;
+    std::unique_ptr<FunctionalBlockContext> ctx;
+  };
+  static constexpr int kEntries = 4;
+  Entry entries_[kEntries];
+  std::uint64_t tick_ = 0;
+};
+
+[[nodiscard]] inline FunctionalBlockContext& pooled_functional_context(
+    const ArchSpec& arch, const LaunchConfig& cfg) {
+  thread_local FunctionalContextCache cache;
+  return cache.acquire(arch, cfg);
+}
+
+/// Dynamic-schedule chunk of the functional grid loop (blocks per claim).
+inline constexpr std::int64_t kFunctionalChunkBlocks = 16;
+
+/// Executes `body` for every block of the grid on the persistent worker
+/// pool. Each participating thread fetches its pooled context once and
+/// `reset()`s it per block. Grids of at most one chunk — the launch queue's
+/// small-grid batch path — run inline on the calling thread with zero
+/// synchronization (see ThreadPool::parallel_run).
+template <typename Body>
+void run_functional_grid(const ArchSpec& arch, const LaunchConfig& cfg, Body& body) {
+  const long long total = cfg.grid.count();
+  ThreadPool::global().parallel_run(
+      total, kFunctionalChunkBlocks, [&](ThreadPool::ChunkClaimer& claim) {
+        std::int64_t b = 0;
+        std::int64_t e = 0;
+        if (!claim.next(b, e)) return;
+        FunctionalBlockContext& blk = pooled_functional_context(arch, cfg);
+        do {
+          for (std::int64_t flat = b; flat < e; ++flat) {
+            blk.reset(unflatten_block(flat, cfg.grid));
+            body(blk);
+          }
+        } while (claim.next(b, e));
+      });
+}
 }  // namespace detail
 
 /// Launches `body(blk)` over the grid. `body` should be a mode-generic
@@ -187,13 +284,7 @@ KernelStats launch(const ArchSpec& arch, const LaunchConfig& cfg, Body&& body, E
 
   if (mode == ExecMode::kFunctional) {
     if constexpr (std::is_invocable_v<Body&, FunctionalBlockContext&>) {
-      parallel_for_pooled(
-          stats.blocks_total,
-          [&] { return FunctionalBlockContext(arch, cfg, BlockId{}); },
-          [&](std::int64_t flat, FunctionalBlockContext& blk) {
-            blk.reset(detail::unflatten_block(flat, cfg.grid));
-            body(blk);
-          });
+      detail::run_functional_grid(arch, cfg, body);
       return stats;
     } else {
       SSAM_REQUIRE(false, "kernel body does not support functional execution");

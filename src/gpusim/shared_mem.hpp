@@ -94,6 +94,7 @@ class SmemAllocator {
   }
 
   void reset() { used_ = 0; }
+  [[nodiscard]] std::int64_t limit() const { return limit_; }
   [[nodiscard]] std::int64_t high_water() const { return high_water_; }
 
  private:

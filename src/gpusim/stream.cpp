@@ -1,0 +1,164 @@
+#include "gpusim/stream.hpp"
+
+namespace ssam::sim {
+
+namespace detail {
+
+void EventState::signal() {
+  std::vector<std::function<void()>> ks;
+  {
+    std::lock_guard<std::mutex> lock(m);
+    done = true;
+    ks.swap(continuations);
+    cv.notify_all();
+  }
+  // Continuations run outside the lock: they typically reschedule a stream
+  // drain, which takes other locks.
+  for (auto& k : ks) k();
+}
+
+bool EventState::ready() {
+  std::lock_guard<std::mutex> lock(m);
+  return done;
+}
+
+void EventState::wait() {
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock, [&] { return done; });
+}
+
+void EventState::on_ready(std::function<void()> k) {
+  {
+    std::lock_guard<std::mutex> lock(m);
+    if (!done) {
+      continuations.push_back(std::move(k));
+      return;
+    }
+  }
+  k();
+}
+
+}  // namespace detail
+
+// ----------------------------------------------------------- LaunchQueue
+
+LaunchQueue& LaunchQueue::global() {
+  static LaunchQueue q;
+  return q;
+}
+
+std::uint64_t LaunchQueue::ops_enqueued() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return enqueued_;
+}
+
+std::uint64_t LaunchQueue::ops_completed() const {
+  std::lock_guard<std::mutex> lock(m_);
+  return completed_;
+}
+
+void LaunchQueue::note_enqueued() {
+  std::lock_guard<std::mutex> lock(m_);
+  ++enqueued_;
+}
+
+void LaunchQueue::note_completed() {
+  std::lock_guard<std::mutex> lock(m_);
+  ++completed_;
+  if (completed_ == enqueued_) cv_.notify_all();
+}
+
+void LaunchQueue::quiesce() {
+  std::unique_lock<std::mutex> lock(m_);
+  cv_.wait(lock, [&] { return completed_ == enqueued_; });
+}
+
+// ---------------------------------------------------------------- Stream
+
+struct Stream::Impl : std::enable_shared_from_this<Stream::Impl> {
+  struct Op {
+    std::function<void()> run;                 ///< empty for pure event ops
+    std::shared_ptr<detail::EventState> done;  ///< signalled after run
+    std::shared_ptr<detail::EventState> dep;   ///< must signal before run
+  };
+
+  std::mutex m;
+  std::deque<Op> q;
+  bool active = false;  ///< a drain is scheduled, running, or parked on a dep
+  std::condition_variable idle_cv;
+
+  void schedule() {
+    auto self = shared_from_this();
+    LaunchQueue::global().pool().submit([self] { self->drain(); });
+  }
+
+  /// Runs queued ops in order until the queue empties or the head op's
+  /// dependency is unsignalled — in which case a continuation on that event
+  /// reschedules the drain and this worker is released.
+  void drain() {
+    for (;;) {
+      Op op;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        if (q.empty()) {
+          active = false;
+          idle_cv.notify_all();
+          return;
+        }
+        Op& head = q.front();
+        if (head.dep != nullptr && !head.dep->ready()) {
+          // Park on the dependency; `active` stays true so enqueues don't
+          // double-schedule a drain.
+          auto dep = std::move(head.dep);
+          head.dep = nullptr;
+          lock.unlock();
+          auto self = shared_from_this();
+          dep->on_ready([self] { self->schedule(); });
+          return;
+        }
+        op = std::move(q.front());
+        q.pop_front();
+      }
+      if (op.run) op.run();
+      op.done->signal();
+      LaunchQueue::global().note_completed();
+    }
+  }
+};
+
+Stream::Stream() : impl_(std::make_shared<Impl>()) {}
+
+Stream::~Stream() { synchronize(); }
+
+Event Stream::enqueue(std::function<void()> run,
+                      std::shared_ptr<detail::EventState> dep) {
+  auto done = std::make_shared<detail::EventState>();
+  LaunchQueue::global().note_enqueued();
+  bool need_schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->q.push_back(Impl::Op{std::move(run), done, std::move(dep)});
+    if (!impl_->active) {
+      impl_->active = true;
+      need_schedule = true;
+    }
+  }
+  if (need_schedule) impl_->schedule();
+  return Event(std::move(done));
+}
+
+Event Stream::host(std::function<void()> fn) { return enqueue(std::move(fn), nullptr); }
+
+void Stream::wait(const Event& ev) {
+  if (ev.state_ == nullptr) return;  // default events are already signalled
+  (void)enqueue({}, ev.state_);
+}
+
+Event Stream::record() { return enqueue({}, nullptr); }
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(impl_->m);
+  impl_->idle_cv.wait(lock, [&] { return impl_->q.empty() && !impl_->active; });
+}
+
+}  // namespace ssam::sim

@@ -1,0 +1,153 @@
+// Asynchronous kernel-launch queue: CUDA-style streams and events on the
+// persistent host thread pool.
+//
+// A `Stream` is an in-order work queue. `Stream::launch` enqueues a
+// functional-mode kernel and returns immediately; ops on one stream execute
+// FIFO, ops on different streams overlap across pool workers. `Event`s
+// order work *between* streams (record on one, wait on another) and let the
+// host block on a specific op. The `LaunchQueue` is the process-wide
+// service behind every stream: it tracks in-flight ops and can quiesce the
+// whole process.
+//
+// Scheduling: each stream drains itself with a single "drain" task on the
+// pool, so at most one op per stream runs at a time (stream order), while
+// the blocks *inside* an op fan out over all workers via
+// detail::run_functional_grid. A drain blocked on an unsignalled event does
+// not occupy a worker — it parks a continuation on the event and
+// reschedules when the event fires, so dependency chains make progress even
+// on a one-worker pool. Consecutive small-grid launches batch: the drain
+// executes them back-to-back on one worker without fork/join (see
+// ThreadPool::parallel_run's serial fast path).
+//
+// Lifetime rules (as with CUDA async APIs): buffers and the ArchSpec
+// referenced by an async launch must stay alive until the stream (or the
+// returned event) is synchronized. Kernel wrappers' `_async` entry points
+// copy small launch-local state (weights, plans) into the op for you.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gpusim/launch.hpp"
+
+namespace ssam::sim {
+
+namespace detail {
+
+/// Shared completion state behind an Event.
+struct EventState {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  std::vector<std::function<void()>> continuations;
+
+  void signal();
+  bool ready();
+  void wait();
+  /// Runs `k` once the event is signalled — immediately if it already is.
+  void on_ready(std::function<void()> k);
+};
+
+}  // namespace detail
+
+/// Completion marker of work enqueued on a Stream (cudaEvent-like). Cheap
+/// shared handle; a default-constructed Event is already signalled.
+class Event {
+ public:
+  Event() = default;
+
+  [[nodiscard]] bool ready() const { return state_ == nullptr || state_->ready(); }
+
+  /// Blocks the calling thread until the event signals.
+  void wait() const {
+    if (state_ != nullptr) state_->wait();
+  }
+
+ private:
+  friend class Stream;
+  explicit Event(std::shared_ptr<detail::EventState> s) : state_(std::move(s)) {}
+  std::shared_ptr<detail::EventState> state_;
+};
+
+/// The process-wide execution service behind all streams: owns no threads
+/// itself (work runs on ThreadPool::global()) but tracks every enqueued op
+/// so the whole process can be quiesced and traffic can be observed.
+class LaunchQueue {
+ public:
+  [[nodiscard]] static LaunchQueue& global();
+
+  [[nodiscard]] ThreadPool& pool() const { return ThreadPool::global(); }
+
+  [[nodiscard]] std::uint64_t ops_enqueued() const;
+  [[nodiscard]] std::uint64_t ops_completed() const;
+
+  /// Blocks until every op enqueued on any stream has completed.
+  void quiesce();
+
+  // Internal accounting, called by Stream.
+  void note_enqueued();
+  void note_completed();
+
+ private:
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+/// An in-order asynchronous work queue (cudaStream-like).
+class Stream {
+ public:
+  Stream();
+  ~Stream();  ///< synchronizes before destruction
+
+  // Not movable: moving away the impl would orphan in-flight ops (no handle
+  // left to synchronize work that still writes caller buffers). Heap-allocate
+  // streams (unique_ptr) when container storage is needed.
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+  Stream(Stream&&) = delete;
+  Stream& operator=(Stream&&) = delete;
+
+  /// Enqueues a functional-mode kernel launch and returns immediately. The
+  /// body is copied into the op; it executes with per-worker pooled block
+  /// contexts exactly like a synchronous functional `sim::launch`.
+  template <typename Body>
+  Event launch(const ArchSpec& arch, const LaunchConfig& cfg, Body body) {
+    SSAM_REQUIRE(cfg.grid.count() > 0, "empty grid");
+    SSAM_REQUIRE(cfg.block_threads > 0 && cfg.block_threads % kWarpSize == 0,
+                 "block size must be a positive warp multiple");
+    return enqueue(
+        [arch_ptr = &arch, cfg, body = std::move(body)]() mutable {
+          detail::run_functional_grid(*arch_ptr, cfg, body);
+        },
+        nullptr);
+  }
+
+  /// Enqueues arbitrary host work in stream order (glue between the passes
+  /// of multi-kernel algorithms).
+  Event host(std::function<void()> fn);
+
+  /// Orders all later ops on this stream after `ev`.
+  void wait(const Event& ev);
+
+  /// Returns an event that signals when all currently enqueued ops finish.
+  Event record();
+
+  /// Blocks the calling thread until the stream is empty and idle.
+  void synchronize();
+
+ private:
+  struct Impl;
+  Event enqueue(std::function<void()> run, std::shared_ptr<detail::EventState> dep);
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace ssam::sim

@@ -61,6 +61,11 @@ class WarpContextT {
   WarpContextT(WarpContextT&&) = default;
   WarpContextT& operator=(WarpContextT&&) = default;
 
+  /// Re-targets this context at (possibly) another architecture. Used by the
+  /// pooled functional contexts that persist across launches on the worker
+  /// pool; the functional specialization holds no other launch state.
+  void rebind(const ArchSpec& arch) { arch_ = &arch; }
+
   [[nodiscard]] int warp_id() const { return warp_id_; }
   [[nodiscard]] const ArchSpec& arch() const { return *arch_; }
   [[nodiscard]] static constexpr bool timing() { return kTimed; }

@@ -237,14 +237,20 @@ TEST(FunctionalAllocations, SteadyStateIsAllocationFree) {
   fill_random(small_in, 41);
   fill_random(large_in, 43);
 
-  // Warm up: first parallel region may initialize the OpenMP runtime.
+  // Warm up: the first launch spawns the worker pool and constructs the
+  // per-worker pooled contexts.
   (void)allocations_during_conv2d(arch, small_in, small_out, weights);
 
   const long long small = allocations_during_conv2d(arch, small_in, small_out, weights);
   const long long large = allocations_during_conv2d(arch, large_in, large_out, weights);
-  // Per-launch allocation is a fixed pool (one BlockContext per host worker);
-  // 8x the blocks must not allocate any more than that.
-  EXPECT_EQ(small, large);
+  // Per-launch allocation must not scale with the block count: the blocks
+  // execute in pooled per-worker contexts. What remains is the fixed
+  // dispatch overhead of the launch queue (one loop state plus up to one
+  // helper task per pool worker), which is bounded by the pool size — 8x
+  // the blocks may not add more than that.
+  const long long per_launch_dispatch_bound =
+      4 * ssam::ThreadPool::global().size() + 4;
+  EXPECT_LE(large - small, per_launch_dispatch_bound);
 }
 
 }  // namespace

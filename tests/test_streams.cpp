@@ -1,0 +1,327 @@
+// The execution service: work-stealing pool, launch queue, streams, events.
+//
+// Pins the contracts the async refactor relies on:
+//  * functional results are bit-identical across pool sizes (1, 4, and the
+//    machine's hardware_concurrency) for scan, conv2d and the temporal
+//    stencil — block scheduling must never leak into results;
+//  * async launches match their synchronous counterparts bit for bit;
+//  * stream FIFO order and cross-stream event dependencies are honored
+//    under stress (interleaved streams sharing an event-ordered buffer);
+//  * the pool parallel loops behave (caller participation, nesting, empty
+//    and tiny ranges).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/conv2d.hpp"
+#include "core/iterate.hpp"
+#include "core/scan.hpp"
+#include "core/stencil2d.hpp"
+#include "core/stencil2d_temporal.hpp"
+#include "core/stencil_shape.hpp"
+#include "gpusim/arch.hpp"
+#include "gpusim/stream.hpp"
+
+namespace {
+
+using namespace ssam;
+
+/// Restores the default global pool when a test that resizes it exits.
+struct PoolSizeGuard {
+  ~PoolSizeGuard() { ThreadPool::reset_global(hardware_concurrency()); }
+};
+
+// --------------------------------------------------------------- pool basics
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(hardware_concurrency(), 1);
+  EXPECT_GE(ThreadPool::global().size(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  PoolSizeGuard guard;
+  for (int workers : {1, 4}) {
+    ThreadPool::reset_global(workers);
+    std::vector<int> hits(10000, 0);
+    parallel_for(static_cast<std::int64_t>(hits.size()),
+                 [&](std::int64_t i) { hits[static_cast<std::size_t>(i)] += 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 10000) << workers;
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPooledMakesOneStatePerParticipant) {
+  PoolSizeGuard guard;
+  ThreadPool::reset_global(4);
+  std::atomic<int> states{0};
+  std::vector<int> hits(4096, 0);
+  parallel_for_pooled(
+      static_cast<std::int64_t>(hits.size()),
+      [&] {
+        states.fetch_add(1);
+        return 0;
+      },
+      [&](std::int64_t i, int&) { hits[static_cast<std::size_t>(i)] += 1; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+  // Caller + at most one helper per worker may participate.
+  EXPECT_GE(states.load(), 1);
+  EXPECT_LE(states.load(), ThreadPool::global().size() + 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndTinyRangesWork) {
+  parallel_for(0, [&](std::int64_t) { FAIL() << "no indices expected"; });
+  int hit = 0;
+  parallel_for(1, [&](std::int64_t) { ++hit; });
+  EXPECT_EQ(hit, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelLoopsDoNotDeadlock) {
+  PoolSizeGuard guard;
+  ThreadPool::reset_global(2);
+  std::atomic<long long> total{0};
+  parallel_for(8, [&](std::int64_t) {
+    parallel_for(64, [&](std::int64_t) { total.fetch_add(1, std::memory_order_relaxed); });
+  });
+  EXPECT_EQ(total.load(), 8 * 64);
+}
+
+// --------------------------------------- determinism across pool sizes
+
+/// Runs `run(out)` at several pool sizes and requires bit-identical output.
+template <typename Run>
+void expect_pool_size_invariant(Run&& run, const char* what) {
+  PoolSizeGuard guard;
+  ThreadPool::reset_global(1);
+  const std::vector<float> reference = run();
+  for (int workers : {4, hardware_concurrency()}) {
+    ThreadPool::reset_global(workers);
+    const std::vector<float> got = run();
+    ASSERT_EQ(got.size(), reference.size());
+    EXPECT_EQ(0, std::memcmp(got.data(), reference.data(),
+                             got.size() * sizeof(float)))
+        << what << " differs at pool size " << workers;
+  }
+}
+
+TEST(PoolDeterminism, ScanBitIdenticalAcrossPoolSizes) {
+  std::vector<float> in(1 << 18);
+  SplitMix64 rng(7);
+  for (auto& v : in) v = static_cast<float>(rng.next_in(-1.0, 1.0));
+  expect_pool_size_invariant(
+      [&] {
+        std::vector<float> out(in.size());
+        (void)core::scan_inclusive<float>(sim::tesla_v100(), in, out);
+        return out;
+      },
+      "scan");
+}
+
+TEST(PoolDeterminism, Conv2dBitIdenticalAcrossPoolSizes) {
+  Grid2D<float> in(301, 177);
+  fill_random(in, 11);
+  const std::vector<float> weights(5 * 5, 0.04f);
+  expect_pool_size_invariant(
+      [&] {
+        Grid2D<float> out(in.width(), in.height());
+        (void)core::conv2d_ssam<float>(sim::tesla_v100(), in.cview(), weights, 5, 5,
+                                       out.view());
+        return std::vector<float>(out.data(), out.data() + out.size());
+      },
+      "conv2d");
+}
+
+TEST(PoolDeterminism, TemporalStencilBitIdenticalAcrossPoolSizes) {
+  Grid2D<float> in(257, 129);
+  fill_random(in, 13);
+  const core::StencilShape<float> shape = core::star2d<float>(1);
+  expect_pool_size_invariant(
+      [&] {
+        Grid2D<float> out(in.width(), in.height());
+        core::TemporalSsamOptions opt;
+        opt.t = 3;
+        (void)core::stencil2d_ssam_temporal<float>(sim::tesla_v100(), in.cview(), shape,
+                                                   out.view(), opt);
+        return std::vector<float>(out.data(), out.data() + out.size());
+      },
+      "temporal stencil");
+}
+
+// ------------------------------------------------------- streams and events
+
+TEST(StreamTest, AsyncConv2dMatchesSync) {
+  const auto& arch = sim::tesla_v100();
+  Grid2D<float> in(333, 190);
+  fill_random(in, 17);
+  const std::vector<float> weights(3 * 3, 0.11f);
+  Grid2D<float> sync_out(in.width(), in.height());
+  (void)core::conv2d_ssam<float>(arch, in.cview(), weights, 3, 3, sync_out.view());
+
+  Grid2D<float> async_out(in.width(), in.height());
+  sim::Stream stream;
+  sim::Event done = core::conv2d_ssam_async<float>(stream, arch, in.cview(), weights, 3,
+                                                   3, async_out.view());
+  done.wait();
+  EXPECT_EQ(0, std::memcmp(sync_out.data(), async_out.data(),
+                           static_cast<std::size_t>(sync_out.size()) * sizeof(float)));
+}
+
+TEST(StreamTest, AsyncScanMatchesSyncIncludingRecursivePasses) {
+  const auto& arch = sim::tesla_v100();
+  std::vector<float> in(1 << 17);  // > 1 block and > 1 recursion level
+  SplitMix64 rng(23);
+  for (auto& v : in) v = static_cast<float>(rng.next_in(-1.0, 1.0));
+  std::vector<float> sync_out(in.size());
+  (void)core::scan_inclusive<float>(arch, in, sync_out);
+
+  std::vector<float> async_out(in.size());
+  sim::Stream stream;
+  core::scan_inclusive_async<float>(stream, arch, in, async_out);
+  stream.synchronize();
+  EXPECT_EQ(0, std::memcmp(sync_out.data(), async_out.data(),
+                           sync_out.size() * sizeof(float)));
+}
+
+TEST(StreamTest, FifoOrderChainsDependentKernels) {
+  const auto& arch = sim::tesla_v100();
+  const int steps = 6;
+  const core::StencilShape<float> shape = core::star2d<float>(1);
+  Grid2D<float> a(193, 97), b(193, 97);
+  fill_random(a, 29);
+  Grid2D<float> ref_a = a, ref_b = b;
+  core::iterate_stencil2d<float>(arch, ref_a, ref_b, shape, steps);
+
+  sim::Stream stream;
+  core::iterate_stencil2d_async<float>(stream, arch, a, b, shape, steps);
+  stream.synchronize();
+  EXPECT_EQ(0, std::memcmp(a.data(), ref_a.data(),
+                           static_cast<std::size_t>(a.size()) * sizeof(float)));
+}
+
+TEST(StreamTest, HostOpsRunInStreamOrder) {
+  sim::Stream stream;
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    stream.host([&order, i] { order.push_back(i); });
+  }
+  stream.synchronize();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(StreamTest, DefaultEventIsSignalled) {
+  sim::Event ev;
+  EXPECT_TRUE(ev.ready());
+  ev.wait();  // must not block
+  sim::Stream stream;
+  stream.wait(ev);  // must not wedge the stream
+  int ran = 0;
+  stream.host([&ran] { ran = 1; });
+  stream.synchronize();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(StreamTest, CrossStreamEventOrdersProducerConsumer) {
+  PoolSizeGuard guard;
+  for (int workers : {1, 4}) {  // dependency chains must progress even 1-wide
+    ThreadPool::reset_global(workers);
+    const auto& arch = sim::tesla_v100();
+    Grid2D<float> in(128, 64), mid(128, 64), out(128, 64);
+    fill_random(in, 31);
+    const std::vector<float> w1(3 * 3, 0.2f);
+    const std::vector<float> w2(5 * 5, 0.05f);
+
+    Grid2D<float> ref_mid(128, 64), ref_out(128, 64);
+    (void)core::conv2d_ssam<float>(arch, in.cview(), w1, 3, 3, ref_mid.view());
+    (void)core::conv2d_ssam<float>(arch, ref_mid.cview(), w2, 5, 5, ref_out.view());
+
+    sim::Stream producer, consumer;
+    (void)core::conv2d_ssam_async<float>(producer, arch, in.cview(), w1, 3, 3,
+                                         mid.view());
+    const sim::Event ready = producer.record();
+    consumer.wait(ready);
+    (void)core::conv2d_ssam_async<float>(consumer, arch, mid.cview(), w2, 5, 5,
+                                         out.view());
+    consumer.synchronize();
+    producer.synchronize();
+    EXPECT_EQ(0, std::memcmp(out.data(), ref_out.data(),
+                             static_cast<std::size_t>(out.size()) * sizeof(float)))
+        << "pool size " << workers;
+  }
+}
+
+TEST(StreamTest, InterleavedStreamStressWithSharedEvents) {
+  // Two streams ping-pong a buffer chain through shared events for many
+  // rounds of small (batched) grids; any ordering violation corrupts the
+  // final field. Run at 1 and 4 workers to cover the parked-dependency and
+  // the overlapping schedule.
+  PoolSizeGuard guard;
+  for (int workers : {1, 4}) {
+    ThreadPool::reset_global(workers);
+    const auto& arch = sim::tesla_v100();
+    const int rounds = 12;
+    const core::SystolicPlan<float> plan = core::build_plan(core::star2d<float>(1).taps);
+    Grid2D<float> x(96, 48), y(96, 48);
+    fill_random(x, 37);
+    Grid2D<float> ref_x = x, ref_y = y;
+    for (int r = 0; r < 2 * rounds; ++r) {
+      (void)core::stencil2d_ssam<float>(arch, ref_x.cview(), plan, ref_y.view());
+      std::swap(ref_x, ref_y);
+    }
+
+    sim::Stream even, odd;
+    sim::Event prev;
+    for (int r = 0; r < rounds; ++r) {
+      even.wait(prev);
+      (void)core::stencil2d_ssam_async<float>(even, arch, x.cview(), plan, y.view());
+      const sim::Event e1 = even.record();
+      odd.wait(e1);
+      (void)core::stencil2d_ssam_async<float>(odd, arch, y.cview(), plan, x.view());
+      prev = odd.record();
+    }
+    prev.wait();
+    even.synchronize();
+    odd.synchronize();
+    EXPECT_EQ(0, std::memcmp(x.data(), ref_x.data(),
+                             static_cast<std::size_t>(x.size()) * sizeof(float)))
+        << "pool size " << workers;
+  }
+}
+
+TEST(LaunchQueueTest, TracksTrafficAndQuiesces) {
+  const std::uint64_t before = sim::LaunchQueue::global().ops_enqueued();
+  {
+    sim::Stream stream;
+    for (int i = 0; i < 10; ++i) stream.host([] {});
+    stream.synchronize();
+  }
+  sim::LaunchQueue::global().quiesce();
+  EXPECT_GE(sim::LaunchQueue::global().ops_enqueued(), before + 10);
+  EXPECT_EQ(sim::LaunchQueue::global().ops_enqueued(),
+            sim::LaunchQueue::global().ops_completed());
+}
+
+TEST(StreamTest, ManyTinyLaunchesBatchCorrectly) {
+  // 64 tiny dependent sweeps on one stream: each is below the batch
+  // threshold, so the drain runs them back-to-back on one worker.
+  const auto& arch = sim::tesla_v100();
+  const core::StencilShape<float> shape = core::star2d<float>(1);
+  Grid2D<float> a(64, 16), b(64, 16);
+  fill_random(a, 41);
+  Grid2D<float> ref_a = a, ref_b = b;
+  core::iterate_stencil2d<float>(arch, ref_a, ref_b, shape, 64);
+
+  sim::Stream stream;
+  core::iterate_stencil2d_async<float>(stream, arch, a, b, shape, 64);
+  stream.synchronize();
+  EXPECT_EQ(0, std::memcmp(a.data(), ref_a.data(),
+                           static_cast<std::size_t>(a.size()) * sizeof(float)));
+}
+
+}  // namespace

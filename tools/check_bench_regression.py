@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for bench_sim_throughput.
+
+Compares a freshly produced sim-throughput JSON against the committed
+baseline (BENCH_sim_throughput.json) and fails when any kernel's
+blocks_per_sec regressed by more than the allowed fraction. Kernels present
+in only one of the two files (new scenarios, retired ones) are reported but
+never fail the gate; neither do improvements.
+
+Usage:
+  check_bench_regression.py BASELINE.json FRESH.json [--max-regression 0.30]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_kernels(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return {k["name"]: k for k in doc.get("kernels", [])}, doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="freshly measured JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.30,
+        help="maximum tolerated fractional drop in blocks_per_sec (default 0.30)",
+    )
+    parser.add_argument(
+        "--metric", default="blocks_per_sec", help="kernel field to compare"
+    )
+    args = parser.parse_args()
+
+    base, base_doc = load_kernels(args.baseline)
+    fresh, fresh_doc = load_kernels(args.fresh)
+    print(
+        f"baseline host_threads={base_doc.get('host_threads')}  "
+        f"fresh host_threads={fresh_doc.get('host_threads')}"
+    )
+
+    failures = []
+    for name in sorted(set(base) | set(fresh)):
+        if name not in base:
+            print(f"  {name:28s} NEW (no baseline) — skipped")
+            continue
+        if name not in fresh:
+            print(f"  {name:28s} MISSING from fresh run — skipped")
+            continue
+        b = float(base[name][args.metric])
+        f = float(fresh[name][args.metric])
+        if b <= 0:
+            print(f"  {name:28s} baseline {args.metric} <= 0 — skipped")
+            continue
+        change = f / b - 1.0
+        verdict = "ok"
+        if change < -args.max_regression:
+            verdict = "REGRESSION"
+            failures.append((name, b, f, change))
+        print(
+            f"  {name:28s} {args.metric}: {b:12.1f} -> {f:12.1f}  "
+            f"({change:+7.1%})  {verdict}"
+        )
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} kernel(s) regressed more than "
+            f"{args.max_regression:.0%} in {args.metric}:"
+        )
+        for name, b, f, change in failures:
+            print(f"  {name}: {b:.1f} -> {f:.1f} ({change:+.1%})")
+        return 1
+    print(f"\nOK: no kernel regressed more than {args.max_regression:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
