@@ -30,6 +30,7 @@
 #include "core/stencil3d.hpp"
 #include "core/stencil_shape.hpp"
 #include "gpusim/arch.hpp"
+#include "gpusim/simd/simd.hpp"
 #include "gpusim/stream.hpp"
 
 namespace {
@@ -154,9 +155,42 @@ class WarpContext {
   }
 
   template <typename T>
+  [[nodiscard]] Reg<T> add(const Reg<T>& a, const Reg<T>& b) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] + b[l];
+    time_arith(r);
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> add(const Reg<T>& a, T b) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = a[l] + b;
+    time_arith(r);
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> select(const Pred& pred, const Reg<T>& a, const Reg<T>& b) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) r[l] = pred[l] != 0 ? a[l] : b[l];
+    time_arith(r);
+    return r;
+  }
+
+  template <typename T>
   [[nodiscard]] Reg<T> shfl_up(std::uint32_t, const Reg<T>& a, int delta) {
     Reg<T> r;
     for (int l = 0; l < kWarpSize; ++l) r[l] = l >= delta ? a[l - delta] : a[l];
+    time_arith(r);
+    return r;
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> shfl_idx(std::uint32_t, const Reg<T>& a, int src_lane) {
+    Reg<T> r;
+    const T v = a[src_lane & (kWarpSize - 1)];
+    for (int l = 0; l < kWarpSize; ++l) r[l] = v;
     time_arith(r);
     return r;
   }
@@ -193,6 +227,18 @@ class WarpContext {
       (void)mem_->store({addrs, static_cast<std::size_t>(n)}, sizeof(T));
       (void)sb_.issue(idx.ready, 1.0, 0);
     }
+  }
+
+  template <typename T>
+  [[nodiscard]] Reg<T> load_shared(const Smem<T>& s, const Reg<int>& idx,
+                                   const Pred* active = nullptr) {
+    Reg<T> r;
+    for (int l = 0; l < kWarpSize; ++l) {
+      if (active != nullptr && (*active)[l] == 0) continue;
+      r[l] = s.data[idx[l]];
+    }
+    if (timing_) r.ready = sb_.issue(idx.ready, 1.0, arch_->lat.smem);
+    return r;
   }
 
   template <typename T>
@@ -418,6 +464,350 @@ void stencil2d(const sim::ArchSpec& arch, const GridView2D<const T>& in,
   });
 }
 
+/// Seed-style temporal blocking: t fused sweeps entirely in heap-allocated
+/// register rows, ping-ponged through std::vector levels.
+template <typename T>
+void stencil2d_temporal(const sim::ArchSpec& arch, const GridView2D<const T>& in,
+                        const core::SystolicPlan<T>& plan, GridView2D<T> out, int t,
+                        int p) {
+  const core::ColumnPass<T>& pass = plan.passes.front();
+  const Index width = in.width();
+  const Index height = in.height();
+  const int dy_span = plan.rows_halo();
+
+  core::Blocking2D geom;
+  geom.span = t * plan.span();
+  geom.dx_min = t * plan.dx_min;
+  geom.rows_halo = t * dy_span;
+  geom.p = p;
+  geom.block_threads = 128;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = geom.grid(width, height);
+  cfg.block_threads = geom.block_threads;
+
+  const int dy_min = plan.dy_min;
+  const int anchor = plan.anchor_dx;
+  launch_functional(
+      arch, cfg, [&, geom, dy_min, anchor, width, height, t, dy_span](BlockContext& blk) {
+        for (int w = 0; w < blk.warp_count(); ++w) {
+          WarpContext& wc = blk.warp(w);
+          const long long warp_linear =
+              static_cast<long long>(blk.id().x) * geom.warps_per_block() + w;
+          const Index col0 = geom.lane0_col(warp_linear);
+          if (col0 - geom.dx_min >= width) continue;
+          const Index row0 = static_cast<Index>(blk.id().y) * geom.p +
+                             static_cast<Index>(t) * dy_min;
+
+          std::vector<Reg<T>> cur(static_cast<std::size_t>(geom.c()));
+          Reg<Index> col = wc.clamp(wc.iota<Index>(col0, 1), Index{0}, width - 1);
+          for (int r = 0; r < geom.c(); ++r) {
+            Index y = row0 + r;
+            y = y < 0 ? 0 : (y >= height ? height - 1 : y);
+            cur[static_cast<std::size_t>(r)] =
+                wc.load_global(in.data(), wc.affine(col, 1, y * in.pitch()));
+          }
+
+          std::vector<Reg<T>> nxt;
+          for (int s = 0; s < t; ++s) {
+            const int next_rows = static_cast<int>(cur.size()) - dy_span;
+            nxt.assign(static_cast<std::size_t>(next_rows), Reg<T>{});
+            for (int r = 0; r < next_rows; ++r) {
+              Reg<T> sum = wc.uniform(T{});
+              for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
+                if (ci > 0) sum = wc.shfl_up(kFullMask, sum, 1);
+                for (const core::ColumnTap<T>& tap : pass.columns[ci]) {
+                  sum = wc.mad(cur[static_cast<std::size_t>(r + tap.dy - dy_min)],
+                               tap.coeff, sum);
+                }
+              }
+              nxt[static_cast<std::size_t>(r)] = sum;
+            }
+            cur.swap(nxt);
+          }
+
+          const Reg<Index> out_x =
+              wc.affine(wc.iota<Index>(0, 1), 1, col0 - static_cast<Index>(t) * anchor);
+          Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span), wc.cmp_lt(out_x, width));
+          for (int i = 0; i < geom.p; ++i) {
+            const Index oy = static_cast<Index>(blk.id().y) * geom.p + i;
+            if (oy >= height) break;
+            wc.store_global(out.data(), wc.affine(out_x, 1, oy * out.pitch()),
+                            cur[static_cast<std::size_t>(i)], &ok);
+          }
+        }
+      });
+}
+
+/// Seed-style 3D stencil: per-plane warps with heap register rows, partial
+/// sums published through shared memory, explicit predicated stores.
+template <typename T>
+void stencil3d(const sim::ArchSpec& arch, const GridView3D<const T>& in,
+               const core::SystolicPlan<T>& plan, GridView3D<T> out, int p = 2,
+               int warps = 8) {
+  const int rz = plan.rz();
+  const Index nx = in.nx();
+  const Index ny = in.ny();
+  const Index nz = in.nz();
+
+  core::Blocking2D geom;
+  geom.span = plan.span();
+  geom.dx_min = plan.dx_min;
+  geom.rows_halo = plan.rows_halo();
+  geom.p = p;
+  geom.block_threads = warps * kWarpSize;
+
+  core::Blocking3D geom3;
+  geom3.plane = geom;
+  geom3.rz = rz;
+  geom3.warps = warps;
+
+  const core::ColumnPass<T>* center_pass = nullptr;
+  std::vector<core::ColumnPass<T>> off_passes;
+  for (const auto& ps : plan.passes) {
+    if (ps.dz == 0) {
+      center_pass = &ps;
+    } else {
+      off_passes.push_back(ps);
+    }
+  }
+  const int n_off = static_cast<int>(off_passes.size());
+  const int dy_min = plan.dy_min;
+  const int anchor = plan.anchor_dx;
+  const int vp = geom3.valid_planes();
+
+  sim::LaunchConfig cfg;
+  cfg.grid = geom3.grid(nx, ny, nz);
+  cfg.block_threads = geom3.block_threads();
+
+  launch_functional(arch, cfg, [&](BlockContext& blk) {
+    const int smem_elems = warps * std::max(1, n_off) * p * kWarpSize;
+    Smem<T> published = blk.alloc_smem<T>(smem_elems);
+    auto smem_base = [&](int warp, int slot, int i) {
+      return ((warp * std::max(1, n_off) + slot) * p + i) * kWarpSize;
+    };
+
+    const Index col0 = geom.lane0_col(blk.id().x);
+    const Index row0 = static_cast<Index>(blk.id().y) * p + dy_min;
+    const Index z_first = static_cast<Index>(blk.id().z) * vp - rz;
+
+    std::vector<Reg<T>> center_sum(static_cast<std::size_t>(warps * p));
+
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      Index pz = z_first + w;
+      pz = pz < 0 ? 0 : (pz >= nz ? nz - 1 : pz);
+      const GridView2D<const T> plane = in.slice(pz);
+
+      std::vector<Reg<T>> rows(static_cast<std::size_t>(geom.c()));
+      Reg<Index> col = wc.clamp(wc.iota<Index>(col0, 1), Index{0}, nx - 1);
+      for (int r = 0; r < geom.c(); ++r) {
+        Index y = row0 + r;
+        y = y < 0 ? 0 : (y >= ny ? ny - 1 : y);
+        rows[static_cast<std::size_t>(r)] =
+            wc.load_global(plane.data(), wc.affine(col, 1, y * plane.pitch()));
+      }
+
+      for (int i = 0; i < p; ++i) {
+        Reg<T> s0 = wc.uniform(T{});
+        if (center_pass != nullptr) {
+          for (std::size_t ci = 0; ci < center_pass->columns.size(); ++ci) {
+            if (ci > 0) s0 = wc.shfl_up(kFullMask, s0, 1);
+            for (const core::ColumnTap<T>& tap : center_pass->columns[ci]) {
+              s0 = wc.mad(rows[static_cast<std::size_t>(i + tap.dy - dy_min)], tap.coeff,
+                          s0);
+            }
+          }
+        }
+        center_sum[static_cast<std::size_t>(w * p + i)] = s0;
+
+        for (int op = 0; op < n_off; ++op) {
+          const core::ColumnPass<T>& pass = off_passes[static_cast<std::size_t>(op)];
+          Reg<T> sum = wc.uniform(T{});
+          for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
+            if (ci > 0) sum = wc.shfl_up(kFullMask, sum, 1);
+            for (const core::ColumnTap<T>& tap : pass.columns[ci]) {
+              sum = wc.mad(rows[static_cast<std::size_t>(i + tap.dy - dy_min)], tap.coeff,
+                           sum);
+            }
+          }
+          wc.store_shared(published, wc.iota<int>(smem_base(w, op, i), 1), sum);
+        }
+      }
+    }
+    blk.sync();
+
+    for (int w = rz; w < warps - rz; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index pz = z_first + w;
+      if (pz < 0 || pz >= nz) continue;
+
+      T* plane_out = out.data() + pz * ny * nx;
+      const Reg<Index> out_x = wc.affine(wc.iota<Index>(0, 1), 1, col0 - anchor);
+      Pred ok = wc.pred_and(wc.cmp_ge(wc.lane_id(), geom.span), wc.cmp_lt(out_x, nx));
+      for (int i = 0; i < p; ++i) {
+        const Index oy = static_cast<Index>(blk.id().y) * p + i;
+        if (oy >= ny) break;
+        Reg<T> sum = center_sum[static_cast<std::size_t>(w * p + i)];
+        for (int op = 0; op < n_off; ++op) {
+          const core::ColumnPass<T>& pass = off_passes[static_cast<std::size_t>(op)];
+          const int producer = w + pass.dz;
+          const int deficit = anchor - pass.dx_max;
+          Reg<int> sidx = wc.add(wc.lane_id(), smem_base(producer, op, i) - deficit);
+          sidx = wc.clamp(sidx, smem_base(producer, op, i),
+                          smem_base(producer, op, i) + kWarpSize - 1);
+          sum = wc.add(sum, wc.load_shared(published, sidx));
+        }
+        wc.store_global(plane_out, wc.affine(out_x, 1, oy * nx), sum, &ok);
+      }
+    }
+  });
+}
+
+/// Seed-style GEMM: heap-allocated accumulator rows, same systolic broadcast
+/// chain as core::gemm_ssam.
+template <typename T>
+void gemm(const sim::ArchSpec& arch, const GridView2D<const T>& a,
+          const GridView2D<const T>& b, GridView2D<T> c, int p = 4) {
+  const Index m = a.height();
+  const Index k = a.width();
+  const Index n = b.width();
+  constexpr int kBlockThreads = 128;
+  const int warps = kBlockThreads / kWarpSize;
+
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(ceil_div(n, kWarpSize)),
+                  static_cast<int>(ceil_div(m, static_cast<long long>(warps) * p)), 1};
+  cfg.block_threads = kBlockThreads;
+
+  launch_functional(arch, cfg, [&, m, k, n, warps, p](BlockContext& blk) {
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index j0 = static_cast<Index>(blk.id().x) * kWarpSize;
+      const Index i0 = (static_cast<Index>(blk.id().y) * warps + w) * p;
+      if (j0 >= n || i0 >= m) continue;
+      Pred col_ok = wc.cmp_lt(wc.iota<Index>(j0, 1), n);
+
+      std::vector<Reg<T>> acc(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) acc[static_cast<std::size_t>(r)] = wc.uniform(T{});
+
+      for (Index kk = 0; kk < k; kk += kWarpSize) {
+        const int steps = static_cast<int>(std::min<Index>(kWarpSize, k - kk));
+        std::vector<Reg<T>> a_vec(static_cast<std::size_t>(p));
+        Pred k_ok = wc.cmp_lt(wc.iota<Index>(kk, 1), k);
+        for (int r = 0; r < p; ++r) {
+          const Index row = std::min<Index>(i0 + r, m - 1);
+          a_vec[static_cast<std::size_t>(r)] =
+              wc.load_global(a.data(), wc.iota<Index>(row * a.pitch() + kk, 1), &k_ok);
+        }
+        for (int s = 0; s < steps; ++s) {
+          const Reg<T> b_row =
+              wc.load_global(b.data(), wc.iota<Index>((kk + s) * b.pitch() + j0, 1), &col_ok);
+          for (int r = 0; r < p; ++r) {
+            const Reg<T> a_bc = wc.shfl_idx(kFullMask, a_vec[static_cast<std::size_t>(r)], s);
+            acc[static_cast<std::size_t>(r)] =
+                wc.mad(b_row, a_bc, acc[static_cast<std::size_t>(r)]);
+          }
+        }
+      }
+      for (int r = 0; r < p; ++r) {
+        const Index row = i0 + r;
+        if (row >= m) break;
+        wc.store_global(c.data(), wc.iota<Index>(row * c.pitch() + j0, 1),
+                        acc[static_cast<std::size_t>(r)], &col_ok);
+      }
+    }
+  });
+}
+
+/// Seed-style Kogge-Stone warp scan.
+template <typename T>
+[[nodiscard]] Reg<T> warp_scan(WarpContext& wc, Reg<T> v) {
+  for (int d = 1; d < kWarpSize; d <<= 1) {
+    const Reg<T> shifted = wc.shfl_up(kFullMask, v, d);
+    const Pred gate = wc.cmp_ge(wc.lane_id(), d);
+    v = wc.select(gate, wc.add(v, shifted), v);
+  }
+  return v;
+}
+
+/// Seed-style hierarchical inclusive scan (same pass structure as
+/// core::scan_inclusive, heap state per block).
+template <typename T>
+void scan(const sim::ArchSpec& arch, std::span<const T> in, std::span<T> out) {
+  const Index n = static_cast<Index>(in.size());
+  constexpr int kBlockThreads = 256;
+  const int warps = kBlockThreads / kWarpSize;
+  const long long blocks = ceil_div(n, kBlockThreads);
+
+  std::vector<T> block_sums(static_cast<std::size_t>(blocks));
+  sim::LaunchConfig cfg;
+  cfg.grid = Dim3{static_cast<int>(blocks), 1, 1};
+  cfg.block_threads = kBlockThreads;
+
+  const T* src = in.data();
+  T* dst = out.data();
+  T* sums = block_sums.data();
+  launch_functional(arch, cfg, [&, src, dst, sums, n, warps](BlockContext& blk) {
+    Smem<T> warp_totals = blk.alloc_smem<T>(warps);
+    std::vector<Reg<T>> scanned(static_cast<std::size_t>(warps));
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      const Index base = static_cast<Index>(blk.id().x) * kBlockThreads +
+                         static_cast<Index>(w) * kWarpSize;
+      const Reg<Index> idx = wc.iota<Index>(base, 1);
+      Pred active = wc.cmp_lt(idx, n);
+      Reg<T> v = wc.load_global(src, idx, &active);
+      v = warp_scan(wc, v);
+      scanned[static_cast<std::size_t>(w)] = v;
+      const Reg<T> total = wc.shfl_idx(kFullMask, v, kWarpSize - 1);
+      Pred lane0 = wc.cmp_lt(wc.lane_id(), 1);
+      wc.store_shared(warp_totals, wc.uniform(w), total, &lane0);
+    }
+    blk.sync();
+    for (int w = 0; w < warps; ++w) {
+      WarpContext& wc = blk.warp(w);
+      Reg<T> offset = wc.uniform(T{});
+      for (int pw = 0; pw < w; ++pw) {
+        offset = wc.add(offset, wc.load_shared_broadcast(warp_totals, pw));
+      }
+      Reg<T> v = wc.add(scanned[static_cast<std::size_t>(w)], offset);
+      const Index base = static_cast<Index>(blk.id().x) * kBlockThreads +
+                         static_cast<Index>(w) * kWarpSize;
+      const Reg<Index> idx = wc.iota<Index>(base, 1);
+      Pred active = wc.cmp_lt(idx, n);
+      wc.store_global(dst, idx, v, &active);
+      if (w == warps - 1) {
+        Pred last = wc.cmp_ge(wc.lane_id(), kWarpSize - 1);
+        wc.store_global(sums, wc.uniform(static_cast<Index>(blk.id().x)),
+                        wc.shfl_idx(kFullMask, v, kWarpSize - 1), &last);
+      }
+    }
+  });
+
+  if (blocks > 1) {
+    std::vector<T> scanned_sums(block_sums.size());
+    scan<T>(arch, {block_sums.data(), block_sums.size()},
+            {scanned_sums.data(), scanned_sums.size()});
+    const T* offs = scanned_sums.data();
+    launch_functional(arch, cfg, [&, offs, dst, n](BlockContext& blk) {
+      if (blk.id().x == 0) return;
+      for (int w = 0; w < blk.warp_count(); ++w) {
+        WarpContext& wc = blk.warp(w);
+        const Reg<T> off =
+            wc.load_global(offs, wc.uniform(static_cast<Index>(blk.id().x - 1)));
+        const Index base = static_cast<Index>(blk.id().x) * kBlockThreads +
+                           static_cast<Index>(w) * kWarpSize;
+        const Reg<Index> idx = wc.iota<Index>(base, 1);
+        Pred active = wc.cmp_lt(idx, n);
+        Reg<T> v = wc.load_global(dst, idx, &active);
+        v = wc.add(v, off);
+        wc.store_global(dst, idx, v, &active);
+      }
+    });
+  }
+}
+
 }  // namespace legacy
 
 // ===========================================================================
@@ -432,6 +822,7 @@ struct KernelResult {
   double seconds = 0.0;     ///< best-of per-rep wall time, current path
   double legacy_seconds = 0.0;  ///< 0 when no legacy replica exists
   double serial_seconds = 0.0;  ///< pipeline only: sum-of-stages serial time
+  int host_threads = 0;         ///< per-row override (pipeline runs wider)
 
   [[nodiscard]] double blocks_per_sec() const {
     return static_cast<double>(blocks) / seconds;
@@ -483,15 +874,19 @@ std::pair<double, double> best_time_interleaved(FnA&& a, FnB&& b, int reps = 5) 
   return {best_a, best_b};
 }
 
-void write_json(const std::vector<KernelResult>& results, const char* path) {
+void write_json(const std::vector<KernelResult>& results, int kernel_threads,
+                int overlap_threads, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  const int threads = ssam::ThreadPool::global().size();
   std::fprintf(f, "{\n  \"benchmark\": \"sim_throughput\",\n  \"mode\": \"functional\",\n");
-  std::fprintf(f, "  \"host_threads\": %d,\n  \"kernels\": [\n", threads);
+  std::fprintf(f, "  \"simd_backend\": \"%s\",\n", ssam::sim::simd::kBackendName);
+  // Per-kernel numbers are pinned to one worker for regression stability;
+  // the pipeline overlap scenario runs at overlap_host_threads workers.
+  std::fprintf(f, "  \"host_threads\": %d,\n  \"overlap_host_threads\": %d,\n  \"kernels\": [\n",
+               kernel_threads, overlap_threads);
   for (std::size_t i = 0; i < results.size(); ++i) {
     const KernelResult& r = results[i];
     std::fprintf(f,
@@ -500,6 +895,9 @@ void write_json(const std::vector<KernelResult>& results, const char* path) {
                  "\"lane_ops_per_sec\": %.1f",
                  r.name.c_str(), r.blocks, r.seconds, r.blocks_per_sec(),
                  r.cells_per_sec(), r.lane_ops_per_sec());
+    if (r.host_threads > 0) {
+      std::fprintf(f, ", \"host_threads\": %d", r.host_threads);
+    }
     if (r.legacy_seconds > 0.0) {
       std::fprintf(f,
                    ", \"legacy_seconds\": %.6f, \"legacy_blocks_per_sec\": %.1f, "
@@ -524,6 +922,15 @@ int main(int argc, char** argv) {
   const char* out_path = argc > 1 ? argv[1] : "BENCH_sim_throughput.json";
   const auto& arch = sim::tesla_v100();
   std::vector<KernelResult> results;
+
+  std::printf("SIMD lane backend: %s\n", sim::simd::kBackendName);
+
+  // Per-kernel throughput is pinned to a single worker so the committed
+  // numbers stay comparable across machines and across PRs regardless of
+  // SSAM_THREADS or core count; the pipeline overlap scenario below widens
+  // the pool to >= 4 workers (its point is cross-stream overlap).
+  ThreadPool::reset_global(1);
+  const int kernel_threads = ThreadPool::global().size();
 
   const Index w2d = 2048, h2d = 2048;
   Grid2D<float> in2d(w2d, h2d);
@@ -574,9 +981,10 @@ int main(int argc, char** argv) {
     results.push_back(r);
   }
 
-  // --- temporal stencil, t=4 ------------------------------------------------
+  // --- temporal stencil, t=4 (with legacy comparison) -----------------------
   {
     const core::StencilShape<float> shape = core::star2d<float>(1);
+    const core::SystolicPlan<float> plan = core::build_plan(shape.taps);
     core::TemporalSsamOptions opt;
     opt.t = 4;
     KernelResult r;
@@ -584,36 +992,50 @@ int main(int argc, char** argv) {
     r.cells = static_cast<double>(w2d) * static_cast<double>(h2d) * opt.t;
     r.flops_per_cell = 2.0 * static_cast<double>(shape.taps.size()) - 1.0;
     sim::KernelStats stats;
-    r.seconds = best_time([&] {
-      stats = core::stencil2d_ssam_temporal<float>(arch, in2d.cview(), shape,
-                                                   out2d.view(), opt);
-    });
+    const auto [cur, leg] = best_time_interleaved(
+        [&] {
+          stats = core::stencil2d_ssam_temporal<float>(arch, in2d.cview(), plan,
+                                                       out2d.view(), opt);
+        },
+        [&] {
+          legacy::stencil2d_temporal<float>(arch, in2d.cview(), plan, out2d.view(), opt.t,
+                                            opt.p);
+        });
+    r.seconds = cur;
+    r.legacy_seconds = leg;
     r.blocks = stats.blocks_total;
-    std::printf("%-24s %10.3f ms\n", r.name.c_str(), r.seconds * 1e3);
+    std::printf("%-24s %10.3f ms  (legacy %10.3f ms, speedup %.2fx)\n", r.name.c_str(),
+                r.seconds * 1e3, r.legacy_seconds * 1e3, r.speedup_vs_legacy());
     results.push_back(r);
   }
 
-  // --- stencil3d star-1 -----------------------------------------------------
+  // --- stencil3d star-1 (with legacy comparison) ----------------------------
   {
     const Index n3 = 192;
     Grid3D<float> in3d(n3, n3, n3);
     fill_random(in3d, 2);
     Grid3D<float> out3d(n3, n3, n3);
     const core::StencilShape<float> shape = core::star3d<float>(1);
+    const core::SystolicPlan<float> plan = core::build_plan(shape.taps);
     KernelResult r;
     r.name = "stencil3d_star1";
     r.cells = static_cast<double>(n3) * n3 * n3;
     r.flops_per_cell = 2.0 * static_cast<double>(shape.taps.size()) - 1.0;
     sim::KernelStats stats;
-    r.seconds = best_time([&] {
-      stats = core::stencil3d_ssam<float>(arch, in3d.cview(), shape, out3d.view());
-    });
+    const auto [cur, leg] = best_time_interleaved(
+        [&] {
+          stats = core::stencil3d_ssam<float>(arch, in3d.cview(), plan, out3d.view());
+        },
+        [&] { legacy::stencil3d<float>(arch, in3d.cview(), plan, out3d.view()); });
+    r.seconds = cur;
+    r.legacy_seconds = leg;
     r.blocks = stats.blocks_total;
-    std::printf("%-24s %10.3f ms\n", r.name.c_str(), r.seconds * 1e3);
+    std::printf("%-24s %10.3f ms  (legacy %10.3f ms, speedup %.2fx)\n", r.name.c_str(),
+                r.seconds * 1e3, r.legacy_seconds * 1e3, r.speedup_vs_legacy());
     results.push_back(r);
   }
 
-  // --- device-wide scan -----------------------------------------------------
+  // --- device-wide scan (with legacy comparison) ----------------------------
   {
     std::vector<float> in(static_cast<std::size_t>(4) << 20);
     SplitMix64 rng(3);
@@ -624,13 +1046,18 @@ int main(int argc, char** argv) {
     r.cells = static_cast<double>(in.size());
     r.flops_per_cell = 5.0;  // log2(warp) Kogge-Stone adds per element
     std::vector<sim::KernelStats> stats;
-    r.seconds = best_time([&] { stats = core::scan_inclusive<float>(arch, in, out); });
+    const auto [cur, leg] = best_time_interleaved(
+        [&] { stats = core::scan_inclusive<float>(arch, in, out); },
+        [&] { legacy::scan<float>(arch, in, out); });
+    r.seconds = cur;
+    r.legacy_seconds = leg;
     for (const auto& s : stats) r.blocks += s.blocks_total;
-    std::printf("%-24s %10.3f ms\n", r.name.c_str(), r.seconds * 1e3);
+    std::printf("%-24s %10.3f ms  (legacy %10.3f ms, speedup %.2fx)\n", r.name.c_str(),
+                r.seconds * 1e3, r.legacy_seconds * 1e3, r.speedup_vs_legacy());
     results.push_back(r);
   }
 
-  // --- gemm -----------------------------------------------------------------
+  // --- gemm (with legacy comparison) ----------------------------------------
   {
     const Index n = 512;
     Grid2D<float> a(n, n), b(n, n), c(n, n);
@@ -641,11 +1068,14 @@ int main(int argc, char** argv) {
     r.cells = static_cast<double>(n) * n;
     r.flops_per_cell = 2.0 * static_cast<double>(n);
     sim::KernelStats stats;
-    r.seconds = best_time([&] {
-      stats = core::gemm_ssam<float>(arch, a.cview(), b.cview(), c.view());
-    });
+    const auto [cur, leg] = best_time_interleaved(
+        [&] { stats = core::gemm_ssam<float>(arch, a.cview(), b.cview(), c.view()); },
+        [&] { legacy::gemm<float>(arch, a.cview(), b.cview(), c.view()); });
+    r.seconds = cur;
+    r.legacy_seconds = leg;
     r.blocks = stats.blocks_total;
-    std::printf("%-24s %10.3f ms\n", r.name.c_str(), r.seconds * 1e3);
+    std::printf("%-24s %10.3f ms  (legacy %10.3f ms, speedup %.2fx)\n", r.name.c_str(),
+                r.seconds * 1e3, r.legacy_seconds * 1e3, r.speedup_vs_legacy());
     results.push_back(r);
   }
 
@@ -653,8 +1083,11 @@ int main(int argc, char** argv) {
   // Serial path launches every stage back-to-back; the stream path runs each
   // image's chain on its own stream (the two Sobels fork onto a second
   // stream after an event), so independent stages and independent images
-  // overlap across pool workers. With one worker the stream path degrades to
-  // the serial schedule.
+  // overlap across pool workers. The overlap scenario needs a pool: it runs
+  // at >= 4 workers (honoring a larger SSAM_THREADS), while the per-kernel
+  // numbers above stay pinned to one. Both counts land in the JSON.
+  const int overlap_threads = std::max(4, ssam::hardware_concurrency());
+  ThreadPool::reset_global(overlap_threads);
   {
     const Index np = 1024;
     const int kImages = 4;
@@ -717,13 +1150,14 @@ int main(int argc, char** argv) {
     r.seconds = stream_t;
     r.serial_seconds = serial_t;
     r.blocks = pipeline_blocks;
+    r.host_threads = ThreadPool::global().size();
     std::printf("%-24s %10.3f ms  (serial %10.3f ms, overlap %.2fx, %d workers)\n",
                 r.name.c_str(), r.seconds * 1e3, r.serial_seconds * 1e3,
                 r.overlap_speedup(), ThreadPool::global().size());
     results.push_back(r);
   }
 
-  write_json(results, out_path);
+  write_json(results, kernel_threads, overlap_threads, out_path);
 
   const double conv_speedup = results[0].speedup_vs_legacy();
   const double stencil_speedup = results[1].speedup_vs_legacy();

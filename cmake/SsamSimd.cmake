@@ -1,0 +1,134 @@
+# SIMD lane-backend selection for the 32-lane engine (src/gpusim/simd/).
+#
+# The cache variable SSAM_SIMD_BACKEND picks the backend:
+#   AUTO    (default) detect the widest backend the *build host* can execute
+#   AVX512 / AVX2 / SSE2 / NEON / SCALAR  force one explicitly
+#
+# ssam_configure_simd(<target>) resolves the choice, adds the backend's
+# compile definition and -m target flags PUBLIC on <target> (they propagate
+# to every consumer of the headers), and prints one configure-time report
+# line. Forcing a backend the host cannot execute builds fine but SIGILLs at
+# runtime — that is the operator's call (useful for cross-builds).
+#
+# All backends are bit-identical (see simd/scalar.hpp), so this is purely a
+# throughput knob; it composes with SSAM_NATIVE (-march=native), which may
+# enable further instructions for the autovectorizer on top of the backend's
+# own flags.
+
+set(SSAM_SIMD_BACKEND "AUTO" CACHE STRING
+    "SIMD lane backend: AUTO, AVX512, AVX2, SSE2, NEON, or SCALAR")
+set_property(CACHE SSAM_SIMD_BACKEND PROPERTY STRINGS
+             AUTO AVX512 AVX2 SSE2 NEON SCALAR)
+
+# Flags each backend needs beyond the target's baseline.
+set(SSAM_SIMD_FLAGS_AVX512 -mavx512f -mavx512bw -mavx512dq -mavx512vl)
+set(SSAM_SIMD_FLAGS_AVX2 -mavx2)
+set(SSAM_SIMD_FLAGS_SSE2 "")
+set(SSAM_SIMD_FLAGS_NEON "")
+set(SSAM_SIMD_FLAGS_SCALAR "")
+
+# Next-narrower backend to try when the compiler rejects a backend's flags
+# (e.g. AVX-512 silicon paired with an older compiler): step down the ladder
+# instead of dropping straight to scalar loops.
+set(SSAM_SIMD_FALLBACK_AVX512 AVX2)
+set(SSAM_SIMD_FALLBACK_AVX2 SSE2)
+set(SSAM_SIMD_FALLBACK_SSE2 SCALAR)
+set(SSAM_SIMD_FALLBACK_NEON SCALAR)
+set(SSAM_SIMD_FALLBACK_SCALAR "")
+
+# Detects the widest backend the build host itself can run, by compiling and
+# executing a tiny CPUID probe. Falls back to the ISA baseline of the target
+# architecture when the probe cannot run (cross builds, exotic toolchains).
+function(_ssam_detect_simd_backend out_var)
+  if(CMAKE_CROSSCOMPILING)
+    if(CMAKE_SYSTEM_PROCESSOR MATCHES "aarch64|arm64")
+      set(${out_var} "NEON" PARENT_SCOPE)
+    elseif(CMAKE_SYSTEM_PROCESSOR MATCHES "x86_64|AMD64|amd64")
+      set(${out_var} "SSE2" PARENT_SCOPE)
+    else()
+      set(${out_var} "SCALAR" PARENT_SCOPE)
+    endif()
+    return()
+  endif()
+
+  set(probe_src "${CMAKE_CURRENT_BINARY_DIR}/ssam_simd_probe.cpp")
+  file(WRITE "${probe_src}" [=[
+#include <cstdio>
+int main() {
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") && __builtin_cpu_supports("avx512vl")) {
+    std::puts("AVX512");
+  } else if (__builtin_cpu_supports("avx2")) {
+    std::puts("AVX2");
+  } else {
+    std::puts("SSE2");
+  }
+#else
+  std::puts("SSE2");
+#endif
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+  std::puts("NEON");
+#else
+  std::puts("SCALAR");
+#endif
+  return 0;
+}
+]=])
+  try_run(probe_ran probe_compiled
+          "${CMAKE_CURRENT_BINARY_DIR}" "${probe_src}"
+          RUN_OUTPUT_VARIABLE probe_out)
+  if(probe_compiled AND probe_ran EQUAL 0)
+    string(STRIP "${probe_out}" probe_out)
+    set(${out_var} "${probe_out}" PARENT_SCOPE)
+  else()
+    set(${out_var} "SCALAR" PARENT_SCOPE)
+  endif()
+endfunction()
+
+function(ssam_configure_simd target)
+  string(TOUPPER "${SSAM_SIMD_BACKEND}" backend)
+  set(origin "forced by -DSSAM_SIMD_BACKEND=${SSAM_SIMD_BACKEND}")
+  if(backend STREQUAL "AUTO")
+    _ssam_detect_simd_backend(backend)
+    set(origin "auto-detected; override with -DSSAM_SIMD_BACKEND=...")
+  endif()
+  if(NOT backend MATCHES "^(AVX512|AVX2|SSE2|NEON|SCALAR)$")
+    message(FATAL_ERROR "SSAM: unknown SSAM_SIMD_BACKEND '${SSAM_SIMD_BACKEND}' "
+                        "(expected AUTO, AVX512, AVX2, SSE2, NEON, or SCALAR)")
+  endif()
+
+  # Verify the compiler accepts the backend's flags; degrade one ladder step
+  # at a time (AVX512 -> AVX2 -> SSE2 -> SCALAR) rather than failing the
+  # configure or dropping straight to scalar loops.
+  include(CheckCXXCompilerFlag)
+  set(flags "${SSAM_SIMD_FLAGS_${backend}}")
+  while(flags)
+    string(REPLACE ";" "_" flag_id "${flags}")
+    check_cxx_compiler_flag("${flags}" SSAM_SIMD_FLAGS_OK_${flag_id})
+    if(SSAM_SIMD_FLAGS_OK_${flag_id})
+      break()
+    endif()
+    set(next "${SSAM_SIMD_FALLBACK_${backend}}")
+    message(WARNING "SSAM: compiler rejects ${flags}; "
+                    "falling back to the ${next} SIMD backend")
+    set(backend "${next}")
+    set(flags "${SSAM_SIMD_FLAGS_${backend}}")
+  endwhile()
+
+  target_compile_definitions(${target} PUBLIC SSAM_SIMD_BACKEND_${backend})
+  if(flags)
+    target_compile_options(${target} PUBLIC ${flags})
+  endif()
+  # Pin FP contraction off everywhere the lane engine is compiled: the scalar
+  # reference loops must not silently fuse a*b+c into FMA on FMA-capable
+  # targets, or cross-backend bit parity would depend on compiler flags.
+  # (The vector backends never emit FMA intrinsics for the same reason.)
+  target_compile_options(${target} PUBLIC -ffp-contract=off)
+
+  string(TOLOWER "${backend}" backend_lc)
+  message(STATUS "SSAM: SIMD lane backend: ${backend_lc} (${origin})")
+  set(SSAM_SIMD_BACKEND_RESOLVED "${backend}" PARENT_SCOPE)
+endfunction()

@@ -39,6 +39,15 @@ inline constexpr int kMaxWarpsPerBlock = 32;
 /// t, t+B, t+2B, ...).
 template <typename T, typename Block>
 void cooperative_load_to_smem(Block& blk, const T* src, const Smem<T>& dst, int n) {
+  if constexpr (!Block::kTimed) {
+    // Functional mode: the block-striped warp copies below reduce to a plain
+    // n-element copy, so issue it as one wide block transfer (the staging
+    // arena is 64-byte aligned; see SmemAllocator). Timing mode must issue
+    // the real per-warp op sequence for the scoreboard and counters.
+    std::memcpy(dst.data, src, static_cast<std::size_t>(n) * sizeof(T));
+    blk.sync();
+    return;
+  }
   const int threads = blk.warp_count() * sim::kWarpSize;
   for (int w = 0; w < blk.warp_count(); ++w) {
     auto& wc = blk.warp(w);

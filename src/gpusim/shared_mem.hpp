@@ -19,6 +19,11 @@ inline constexpr int kSmemBanks = 32;
 inline constexpr int kSmemWordBytes = 4;
 inline constexpr int kSmemMaxLanes = 32;
 
+/// Alignment of the backing arena (and thus of allocation 0): one cache
+/// line, so warp-wide (128-byte) staging copies through the SIMD lane
+/// engine never split a vector load across lines.
+inline constexpr std::int64_t kSmemAlign = 64;
+
 /// Typed handle to a block-shared array. `base_word` anchors bank math.
 template <typename T>
 struct Smem {
@@ -74,7 +79,13 @@ struct SmemAccessInfo {
 class SmemAllocator {
  public:
   explicit SmemAllocator(std::int64_t limit_bytes)
-      : limit_(limit_bytes), storage_(static_cast<std::size_t>(limit_bytes)) {}
+      : limit_(limit_bytes),
+        storage_(static_cast<std::size_t>(limit_bytes + kSmemAlign)) {
+    // Round the arena base up to a cache line; std::vector<std::byte> only
+    // guarantees max_align_t.
+    const auto raw = reinterpret_cast<std::uintptr_t>(storage_.data());
+    base_ = storage_.data() + (static_cast<std::size_t>(-raw) & (kSmemAlign - 1));
+  }
 
   template <typename T>
   [[nodiscard]] Smem<T> alloc(int count) {
@@ -89,7 +100,7 @@ class SmemAllocator {
     }
     used_ = start + bytes;
     high_water_ = std::max(high_water_, used_);
-    return Smem<T>{reinterpret_cast<T*>(storage_.data() + start), count,
+    return Smem<T>{reinterpret_cast<T*>(base_ + start), count,
                    start / kSmemWordBytes};
   }
 
@@ -103,6 +114,7 @@ class SmemAllocator {
   std::int64_t used_ = 0;
   std::int64_t high_water_ = 0;
   std::vector<std::byte> storage_;
+  std::byte* base_ = nullptr;  ///< cache-line-aligned arena base
 };
 
 }  // namespace ssam::sim

@@ -6,10 +6,13 @@
 // scoreboard). This is the "software systolic array" substrate of the paper:
 // the PEs of Figure 1d are exactly these per-lane register slots.
 //
-// All lane arithmetic lives here as `Vec<T>` primitives — one short
-// fixed-trip-count loop per operation, annotated for vectorization — so the
-// functional execution path compiles down to tight SIMD loops and the
-// WarpContext operations reduce to one-liners.
+// All lane arithmetic lives here as `Vec<T>` primitives, each a one-line
+// dispatch into the explicit SIMD lane engine (gpusim/simd/): arithmetic and
+// mad chains run as wide ops over the 32 contiguous lanes, and the four
+// CUDA-semantics shuffles run as in-register permutes on backends that have
+// them (see simd/simd.hpp for backend selection). Every backend reproduces
+// the portable reference loops bit-for-bit, so functional results do not
+// depend on the backend — only throughput does.
 #pragma once
 
 #include <array>
@@ -17,47 +20,47 @@
 #include <cstring>
 
 #include "common/types.hpp"
-
-// Vectorization hint for the 32-lane primitive loops. `omp simd` needs
-// -fopenmp / -fopenmp-simd; without it the fixed trip count still lets the
-// optimizer auto-vectorize at -O2/-O3.
-#if defined(_OPENMP)
-#define SSAM_SIMD _Pragma("omp simd")
-#else
-#define SSAM_SIMD
-#endif
+#include "gpusim/simd/simd.hpp"
 
 namespace ssam::sim {
 
 inline constexpr int kWarpSize = 32;
+static_assert(kWarpSize == simd::kSimdLanes, "lane engine width is one warp");
 
 /// Full-warp participation mask, as in `__shfl_up_sync(0xffffffff, ...)`.
 inline constexpr std::uint32_t kFullMask = 0xffffffffu;
 
 /// Plain 32-lane SIMD value (no timing attached). The static members are the
-/// element-wise primitives every warp operation is built from; each is a
-/// single vectorizable loop over the 32 contiguous lanes.
+/// element-wise primitives every warp operation is built from; each
+/// dispatches to the active simd::LaneOps backend over the 32 contiguous
+/// lanes.
 template <typename T>
 struct Vec {
+  using Ops = simd::LaneOps<T>;
+
   // Intentionally not initialized: a Vec is a register file row, and the
   // primitives below always write all 32 lanes before anything reads them.
   // Keeping the type trivially default-constructible means the fixed-capacity
   // accumulator arrays of the kernels cost zero cycles to construct.
-  std::array<T, kWarpSize> lane;
+  // 64-byte alignment keeps each vector-register-sized slice of the lanes
+  // inside one cache line, so the wide backends never split a load.
+  alignas(64) std::array<T, kWarpSize> lane;
 
   [[nodiscard]] T& operator[](int i) { return lane[static_cast<std::size_t>(i)]; }
   [[nodiscard]] const T& operator[](int i) const { return lane[static_cast<std::size_t>(i)]; }
 
+  [[nodiscard]] T* data() { return lane.data(); }
+  [[nodiscard]] const T* data() const { return lane.data(); }
+
   [[nodiscard]] static Vec splat(T v) {
     Vec r;
-    r.lane.fill(v);
+    Ops::splat(r.data(), v);
     return r;
   }
 
   [[nodiscard]] static Vec iota(T base = T{0}, T step = T{1}) {
     Vec r;
-    T v = base;
-    for (int i = 0; i < kWarpSize; ++i, v = static_cast<T>(v + step)) r[i] = v;
+    Ops::iota(r.data(), base, step);
     return r;
   }
 
@@ -65,50 +68,43 @@ struct Vec {
 
   [[nodiscard]] static Vec mad(const Vec& a, const Vec& b, const Vec& c) {
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] * b.lane[l] + c.lane[l];
+    Ops::mad(r.data(), a.data(), b.data(), c.data());
     return r;
   }
 
   [[nodiscard]] static Vec mad(const Vec& a, T b, const Vec& c) {
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] * b + c.lane[l];
+    Ops::mad_s(r.data(), a.data(), b, c.data());
     return r;
   }
 
   [[nodiscard]] static Vec add(const Vec& a, const Vec& b) {
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] + b.lane[l];
+    Ops::add(r.data(), a.data(), b.data());
     return r;
   }
 
   [[nodiscard]] static Vec add(const Vec& a, T b) {
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] + b;
+    Ops::add_s(r.data(), a.data(), b);
     return r;
   }
 
   [[nodiscard]] static Vec sub(const Vec& a, const Vec& b) {
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] - b.lane[l];
+    Ops::sub(r.data(), a.data(), b.data());
     return r;
   }
 
   [[nodiscard]] static Vec mul(const Vec& a, const Vec& b) {
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] * b.lane[l];
+    Ops::mul(r.data(), a.data(), b.data());
     return r;
   }
 
   [[nodiscard]] static Vec mul(const Vec& a, T b) {
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] * b;
+    Ops::mul_s(r.data(), a.data(), b);
     return r;
   }
 
@@ -117,20 +113,13 @@ struct Vec {
   [[nodiscard]] static Vec affine(const Vec& x, T scale, T offset) {
     if (scale == T{1}) return add(x, offset);
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = x.lane[l] * scale + offset;
+    Ops::affine(r.data(), x.data(), scale, offset);
     return r;
   }
 
   [[nodiscard]] static Vec clamp(const Vec& x, T lo, T hi) {
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) {
-      T v = x.lane[l];
-      v = v < lo ? lo : v;
-      v = v > hi ? hi : v;
-      r.lane[l] = v;
-    }
+    Ops::clamp(r.data(), x.data(), lo, hi);
     return r;
   }
 
@@ -138,53 +127,44 @@ struct Vec {
 
   [[nodiscard]] static Vec<int> ge(const Vec& a, T b) {
     Vec<int> r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] >= b ? 1 : 0;
+    Ops::ge_s(r.data(), a.data(), b);
     return r;
   }
 
   [[nodiscard]] static Vec<int> lt(const Vec& a, T b) {
     Vec<int> r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l] < b ? 1 : 0;
+    Ops::lt_s(r.data(), a.data(), b);
     return r;
   }
 
   [[nodiscard]] static Vec<int> logical_and(const Vec<int>& a, const Vec<int>& b) {
     Vec<int> r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) {
-      r.lane[l] = (a.lane[l] != 0 && b.lane[l] != 0) ? 1 : 0;
-    }
+    simd::LaneOps<int>::logical_and(r.data(), a.data(), b.data());
     return r;
   }
 
   /// r = pred ? a : b (SEL instruction).
   [[nodiscard]] static Vec select(const Vec<int>& pred, const Vec& a, const Vec& b) {
     Vec r;
-    SSAM_SIMD
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = pred.lane[l] != 0 ? a.lane[l] : b.lane[l];
+    Ops::select(r.data(), pred.data(), a.data(), b.data());
     return r;
   }
 
   // ---------------------------------------------------------------- shuffles
+  //
+  // CUDA __shfl_*_sync semantics with a full mask: a lane whose source falls
+  // outside the warp keeps its own value. On AVX-512/AVX2 these are true
+  // register permutes (vpermt2d / vpermd); elsewhere the reference path's
+  // fixed-size overlapping copies compile to straight vector moves.
 
   /// __shfl_up_sync: lane l receives lane l-delta; lanes < delta keep their
-  /// own value. Implemented as two block copies (lane types are trivial);
-  /// the delta == 1 partial-sum shift of every systolic sweep gets a
-  /// constant-size copy the compiler turns into straight vector moves.
+  /// own value (the delta == 1 case is the partial-sum shift of every
+  /// systolic sweep).
   [[nodiscard]] static Vec shift_up(const Vec& a, int delta) {
     if (delta <= 0) return a;
     if (delta > kWarpSize) delta = kWarpSize;
     Vec r;
-    if (delta == 1) {
-      r.lane[0] = a.lane[0];
-      std::memcpy(r.lane.data() + 1, a.lane.data(), (kWarpSize - 1) * sizeof(T));
-      return r;
-    }
-    std::memcpy(r.lane.data(), a.lane.data(), static_cast<std::size_t>(delta) * sizeof(T));
-    std::memcpy(r.lane.data() + delta, a.lane.data(),
-                static_cast<std::size_t>(kWarpSize - delta) * sizeof(T));
+    Ops::shift_up(r.data(), a.data(), delta);
     return r;
   }
 
@@ -193,10 +173,7 @@ struct Vec {
     if (delta <= 0) return a;
     if (delta > kWarpSize) delta = kWarpSize;
     Vec r;
-    std::memcpy(r.lane.data(), a.lane.data() + delta,
-                static_cast<std::size_t>(kWarpSize - delta) * sizeof(T));
-    std::memcpy(r.lane.data() + (kWarpSize - delta), a.lane.data() + (kWarpSize - delta),
-                static_cast<std::size_t>(delta) * sizeof(T));
+    Ops::shift_down(r.data(), a.data(), delta);
     return r;
   }
 
@@ -205,10 +182,10 @@ struct Vec {
     return splat(a.lane[static_cast<std::size_t>(src_lane & (kWarpSize - 1))]);
   }
 
-  /// __shfl_xor_sync (butterfly exchange).
+  /// __shfl_xor_sync (butterfly exchange); only the lane bits participate.
   [[nodiscard]] static Vec butterfly(const Vec& a, int lane_mask) {
     Vec r;
-    for (int l = 0; l < kWarpSize; ++l) r.lane[l] = a.lane[l ^ lane_mask];
+    Ops::butterfly(r.data(), a.data(), lane_mask & (kWarpSize - 1));
     return r;
   }
 
@@ -218,15 +195,7 @@ struct Vec {
   /// coalesced pattern almost every SSAM access produces.
   template <typename I>
   [[nodiscard]] static bool unit_stride(const Vec<I>& idx) {
-    const I i0 = idx.lane[0];
-    bool contiguous = true;
-    // No SSAM_SIMD here: `contiguous` is a loop-carried reduction, which the
-    // plain `omp simd` pragma does not declare (it would need a reduction
-    // clause); the fixed-trip loop auto-vectorizes fine regardless.
-    for (int l = 1; l < kWarpSize; ++l) {
-      contiguous &= idx.lane[l] == i0 + static_cast<I>(l);
-    }
-    return contiguous;
+    return simd::LaneOps<I>::unit_stride(idx.data());
   }
 
   template <typename I>
@@ -242,9 +211,11 @@ struct Vec {
   }
 
   /// Masked gather; inactive lanes receive T{} (matching the documented
-  /// load semantics kernels rely on, e.g. masked scan inputs).
+  /// load semantics kernels rely on, e.g. masked scan inputs). Interior
+  /// warps pass an all-true predicate, which rejoins the coalesced path.
   template <typename I>
   [[nodiscard]] static Vec gather_if(const T* base, const Vec<I>& idx, const Vec<int>& active) {
+    if (simd::LaneOps<int>::all_nonzero(active.data())) return gather(base, idx);
     Vec r;
     for (int l = 0; l < kWarpSize; ++l) {
       if (active.lane[l] != 0) {
@@ -267,6 +238,10 @@ struct Vec {
 
   template <typename I>
   static void scatter_if(T* base, const Vec<I>& idx, const Vec& v, const Vec<int>& active) {
+    if (simd::LaneOps<int>::all_nonzero(active.data())) {
+      scatter(base, idx, v);
+      return;
+    }
     for (int l = 0; l < kWarpSize; ++l) {
       if (active.lane[l] != 0) base[idx.lane[l]] = v.lane[l];
     }
