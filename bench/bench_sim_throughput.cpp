@@ -14,6 +14,18 @@
 // batch of images) serially and as overlapping streams on the launch queue,
 // reporting end-to-end pipeline throughput — the number the async
 // execution-service work is accountable to.
+// The *persistent_vs_relaunch* scenario compares the two iteration models
+// for temporal stencils over the same 32 plain time steps (at 1 worker and
+// at >= 4 workers): the per-step relaunch path must fuse t=4 steps with the
+// ghost-zone temporal kernel to amortize the per-step global-array
+// round-trip, paying its halo redundancy (3x row reload, 8 dead lanes per
+// warp); the persistent engine (core/iterate_persistent.hpp) keeps tiles
+// resident across steps and exchanges exact halos through lock-free
+// channels, so it advances step by step with no ghost zones. The scenario
+// also runs the persistent engine at the *same* t as the relaunch path and
+// checks both models produce bit-identical outputs (the same-t speedup is
+// reported alongside the headline one, and the exact-exchange result is
+// verified against a plain per-step reference).
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -24,6 +36,7 @@
 #include "common/thread_pool.hpp"
 #include "core/conv2d.hpp"
 #include "core/gemm.hpp"
+#include "core/iterate_persistent.hpp"
 #include "core/scan.hpp"
 #include "core/stencil2d.hpp"
 #include "core/stencil2d_temporal.hpp"
@@ -824,6 +837,14 @@ struct KernelResult {
   double serial_seconds = 0.0;  ///< pipeline only: sum-of-stages serial time
   int host_threads = 0;         ///< per-row override (pipeline runs wider)
 
+  // persistent_vs_relaunch scenario only.
+  int steps = 0;                    ///< plain time steps advanced per rep
+  int tiles = 0;                    ///< resident tiles of the persistent run
+  double relaunch_seconds = 0.0;    ///< ghost-zone temporal relaunch (t=4)
+  double same_t_seconds = 0.0;      ///< persistent at the relaunch path's t
+  double relaunch_t1_seconds = 0.0; ///< plain per-step relaunch reference
+  int bit_identical = -1;           ///< 1 when both parity memcmps held
+
   [[nodiscard]] double blocks_per_sec() const {
     return static_cast<double>(blocks) / seconds;
   }
@@ -836,6 +857,15 @@ struct KernelResult {
   }
   [[nodiscard]] double overlap_speedup() const {
     return serial_seconds > 0.0 ? serial_seconds / seconds : 0.0;
+  }
+  [[nodiscard]] double steps_per_sec() const {
+    return steps > 0 ? steps / seconds : 0.0;
+  }
+  [[nodiscard]] double persistent_speedup() const {
+    return relaunch_seconds > 0.0 ? relaunch_seconds / seconds : 0.0;
+  }
+  [[nodiscard]] double same_t_speedup() const {
+    return same_t_seconds > 0.0 ? relaunch_seconds / same_t_seconds : 0.0;
   }
 };
 
@@ -909,11 +939,136 @@ void write_json(const std::vector<KernelResult>& results, int kernel_threads,
       std::fprintf(f, ", \"serial_seconds\": %.6f, \"overlap_speedup\": %.2f",
                    r.serial_seconds, r.overlap_speedup());
     }
+    if (r.steps > 0) {
+      std::fprintf(f,
+                   ", \"steps\": %d, \"steps_per_sec\": %.2f, \"tiles\": %d, "
+                   "\"relaunch_seconds\": %.6f, \"relaunch_steps_per_sec\": %.2f, "
+                   "\"persistent_speedup\": %.2f",
+                   r.steps, r.steps_per_sec(), r.tiles, r.relaunch_seconds,
+                   r.steps / r.relaunch_seconds, r.persistent_speedup());
+      if (r.same_t_seconds > 0.0) {
+        std::fprintf(f, ", \"same_t_seconds\": %.6f, \"same_t_speedup\": %.2f",
+                     r.same_t_seconds, r.same_t_speedup());
+      }
+      if (r.relaunch_t1_seconds > 0.0) {
+        std::fprintf(f, ", \"relaunch_t1_seconds\": %.6f", r.relaunch_t1_seconds);
+      }
+      if (r.bit_identical >= 0) {
+        std::fprintf(f, ", \"bit_identical\": %s", r.bit_identical != 0 ? "true" : "false");
+      }
+    }
     std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
+}
+
+// ---------------------------------------------------------------------------
+// persistent_vs_relaunch: same 32 plain time steps of the star-1 stencil on
+// a 2048^2 grid under both iteration models, at the current pool size.
+//  * relaunch   — the per-step path for temporal stencils: one launch of the
+//    t=4 ghost-zone kernel per fused sweep, full global-array round trip
+//    between sweeps (headline baseline, `relaunch_seconds`).
+//  * persistent — resident tiles with exact per-step halo exchange (t=1,
+//    `seconds`), plus the same-t=4 configuration whose output must be
+//    bit-identical to the relaunch path (`same_t_seconds`).
+// A plain per-step relaunch reference (`relaunch_t1_seconds`) is recorded
+// for completeness, and the exact-exchange persistent result is verified
+// bit-for-bit against it. Returns bit_identical = 0 on any mismatch (the
+// caller exits nonzero, failing the CI gate).
+KernelResult persistent_vs_relaunch(const sim::ArchSpec& arch, const char* name) {
+  using namespace ssam;
+  const Index n = 2048;
+  const int t = 4;
+  const int sweeps = 8;  // 32 plain steps per rep
+  const core::StencilShape<float> shape = core::star2d<float>(1);
+  const core::SystolicPlan<float> plan = core::build_plan(shape.taps);
+  Grid2D<float> src(n, n);
+  fill_random(src, 21);
+
+  core::TemporalSsamOptions topt;
+  topt.t = t;
+  Grid2D<float> ra = src, rb(n, n);
+  auto relaunch_t4 = [&] {
+    for (int s = 0; s < sweeps; ++s) {
+      (void)core::stencil2d_ssam_temporal<float>(arch, ra.cview(), plan, rb.view(), topt);
+      std::swap(ra, rb);
+    }
+  };
+  Grid2D<float> pa = src, pb(n, n);
+  core::PersistentOptions popt;
+  popt.policy = core::IterationPolicy::kPersistent;
+  core::PersistentRunStats pstats;
+  auto persistent_t1 = [&] {
+    pstats = core::iterate_stencil2d_persistent<float>(arch, pa, pb, shape, t * sweeps,
+                                                       popt);
+  };
+
+  KernelResult r;
+  r.name = name;
+  r.steps = t * sweeps;
+  r.cells = static_cast<double>(n) * n * r.steps;
+  r.flops_per_cell = 2.0 * static_cast<double>(shape.taps.size()) - 1.0;
+  const auto [pers, relaunch] = best_time_interleaved(persistent_t1, relaunch_t4, 5);
+  r.seconds = pers;
+  r.relaunch_seconds = relaunch;
+  r.tiles = pstats.tiles;
+  // Blocks of the equivalent plain sweeps, so blocks_per_sec tracks the
+  // persistent path's throughput in the regression gate.
+  const core::StencilOptions plain_opt;
+  const auto s1 = core::detail::stencil2d_setup(src.cview(), plan, plain_opt);
+  r.blocks = static_cast<long long>(s1.cfg.grid.count()) * r.steps;
+
+  // Same-t persistent run: must match the relaunch output bit for bit.
+  core::PersistentOptions popt4 = popt;
+  popt4.t = t;
+  Grid2D<float> qa = src, qb(n, n);
+  r.same_t_seconds = best_time(
+      [&] {
+        (void)core::iterate_stencil2d_persistent<float>(arch, qa, qb, shape, sweeps,
+                                                        popt4);
+      },
+      3);
+
+  // Plain per-step relaunch reference; the exact-exchange persistent result
+  // must match it bit for bit.
+  Grid2D<float> ta = src, tb(n, n);
+  r.relaunch_t1_seconds = best_time(
+      [&] {
+        for (int s = 0; s < t * sweeps; ++s) {
+          (void)core::stencil2d_ssam<float>(arch, ta.cview(), plan, tb.view(), plain_opt);
+          std::swap(ta, tb);
+        }
+      },
+      3);
+
+  // Parity checks on fresh single runs from the same source state.
+  const std::size_t bytes = static_cast<std::size_t>(src.size()) * sizeof(float);
+  Grid2D<float> ca = src, cb(n, n), da = src, db(n, n);
+  for (int s = 0; s < sweeps; ++s) {
+    (void)core::stencil2d_ssam_temporal<float>(arch, ca.cview(), plan, cb.view(), topt);
+    std::swap(ca, cb);
+  }
+  (void)core::iterate_stencil2d_persistent<float>(arch, da, db, shape, sweeps, popt4);
+  const bool same_t_ok = 0 == std::memcmp(ca.data(), da.data(), bytes);
+
+  Grid2D<float> ea = src, eb(n, n), fa = src, fb(n, n);
+  for (int s = 0; s < t * sweeps; ++s) {
+    (void)core::stencil2d_ssam<float>(arch, ea.cview(), plan, eb.view(), plain_opt);
+    std::swap(ea, eb);
+  }
+  (void)core::iterate_stencil2d_persistent<float>(arch, fa, fb, shape, t * sweeps, popt);
+  const bool exact_ok = 0 == std::memcmp(ea.data(), fa.data(), bytes);
+  r.bit_identical = (same_t_ok && exact_ok) ? 1 : 0;
+
+  std::printf(
+      "%-24s %10.3f ms  (relaunch t4 %10.3f ms, speedup %.2fx; same-t %.2fx, "
+      "bit-identical %s; %d tiles, %d workers)\n",
+      r.name.c_str(), r.seconds * 1e3, r.relaunch_seconds * 1e3, r.persistent_speedup(),
+      r.same_t_speedup(), r.bit_identical != 0 ? "yes" : "NO", r.tiles,
+      ThreadPool::global().size());
+  return r;
 }
 
 }  // namespace
@@ -1079,6 +1234,9 @@ int main(int argc, char** argv) {
     results.push_back(r);
   }
 
+  // --- persistent iteration engine vs per-step relaunch, 1 worker -----------
+  results.push_back(persistent_vs_relaunch(arch, "persistent_vs_relaunch_t4_1w"));
+
   // --- multi-kernel pipeline: blur -> (sobel_x, sobel_y) over a batch -------
   // Serial path launches every stage back-to-back; the stream path runs each
   // image's chain on its own stream (the two Sobels fork onto a second
@@ -1157,11 +1315,24 @@ int main(int argc, char** argv) {
     results.push_back(r);
   }
 
+  // --- persistent iteration engine vs per-step relaunch, >= 4 workers -------
+  {
+    KernelResult r = persistent_vs_relaunch(arch, "persistent_vs_relaunch_t4");
+    r.host_threads = ThreadPool::global().size();
+    results.push_back(r);
+  }
+
   write_json(results, kernel_threads, overlap_threads, out_path);
 
   const double conv_speedup = results[0].speedup_vs_legacy();
   const double stencil_speedup = results[1].speedup_vs_legacy();
   std::printf("\nfunctional-path speedup vs pre-refactor: conv2d %.2fx, stencil2d %.2fx\n",
               conv_speedup, stencil_speedup);
+  for (const KernelResult& r : results) {
+    if (r.bit_identical == 0) {
+      std::fprintf(stderr, "FAIL: %s outputs not bit-identical\n", r.name.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

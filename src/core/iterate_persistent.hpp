@@ -1,0 +1,725 @@
+// Persistent iteration engine: cross-iteration tile residency for the
+// iterative stencil drivers (the PERKS execution model of Zhang et al.,
+// arXiv:2204.02064, emulated on the host pool — see gpusim/persistent.hpp
+// for the scheduling substrate).
+//
+// The per-step relaunch drivers (core/iterate.hpp) re-read and re-write the
+// full grids through global memory every time step. The persistent engine
+// instead decomposes the domain into full-width bands (2D: row bands, 3D:
+// z-plane bands), pins each band to one pool worker for the whole run, and
+// keeps the band's working set *resident* in per-tile ping/pong buffers
+// across steps. Between steps only the boundary rows/planes move, directly
+// between neighbouring tiles through lock-free epoch-counted halo channels.
+// The channels are zero-copy: a producer writes its boundary straight into
+// the halo region of the consumer's residence buffer (every tile flips
+// buffers once per sweep, so epoch e lives in buffer e % 2 everywhere), and
+// the epoch counters are pure synchronization. The first sweep reads the
+// source grid directly and the last sweep stores directly back to it, so a
+// run touches the global arrays exactly once on each side with no staging
+// copies at all.
+//
+// Each band sweep replays the unmodified SSAM kernel body (register cache +
+// systolic shuffles) over the residence buffer through the owner's pooled
+// BlockContext, shifted by a row/plane origin — so outputs are bit-identical
+// to the relaunch path in functional mode, which the persistent-path tests
+// pin with golden hashes. Temporal blocking composes: with t > 1 every
+// exchange carries t*r halo units and each sweep advances t fused steps in
+// registers, exactly like the temporal kernels the per-step path launches.
+//
+// An optional element-wise post hook runs over the band after each sweep
+// (before the boundary is published), with an optional second resident
+// field — enough for two-field updates like the acoustic wave equation
+// (examples/acoustic_wave_3d.cpp). The post path keeps the staged
+// load/drain (the hook must see every produced band in residence).
+#pragma once
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "core/iterate.hpp"
+#include "core/stencil2d_temporal.hpp"
+#include "core/stencil3d_temporal.hpp"
+#include "gpusim/persistent.hpp"
+
+namespace ssam::core {
+
+/// How an iterative run executes. kRelaunch is the per-step path of
+/// core/iterate.hpp; kPersistent is the resident-tile engine; kAuto picks
+/// persistent for functional runs long enough to amortize tile setup.
+enum class IterationPolicy { kAuto, kRelaunch, kPersistent };
+
+struct PersistentOptions {
+  IterationPolicy policy = IterationPolicy::kAuto;
+  int tiles = 0;  ///< 0: auto (residence-sized bands, >= 2 per worker)
+  int t = 1;      ///< fused time steps per sweep (temporal blocking)
+  int p = 4;              ///< sliding-window outputs per thread
+  int block_threads = 128;
+  int warps3d = 8;        ///< planes per block for the 3D kernels
+};
+
+/// What a run actually did (the policy decision is runtime).
+struct PersistentRunStats {
+  int sweeps = 0;  ///< kernel sweeps executed; plain steps = sweeps * t
+  int t = 1;
+  int tiles = 1;
+  bool persistent = false;  ///< false: per-step relaunch path was used
+};
+
+namespace detail {
+
+/// Sentinel for "no post hook".
+struct NoPost {};
+
+/// One resident band tile: the dimension-agnostic state machine. A `unit`
+/// is one contiguous row (2D) or plane (3D) of `unit_elems` elements; the
+/// residence buffers hold ht + band + hb units, the band starting at unit
+/// ht. The sweep bodies and the post hook are injected by the engine.
+template <typename T>
+class ResidentBandTile final : public sim::PersistentTask {
+ public:
+  struct Wiring {
+    const sim::ArchSpec* arch = nullptr;
+    sim::LaunchConfig cfg;
+    /// sweep[0] reads buf_a and writes buf_b; sweep[1] the reverse.
+    std::function<void(sim::FunctionalBlockContext&)> sweep[2];
+    /// Fused boundary sweeps: `first` reads the global array and writes
+    /// buf_b (skips the staged load; engine sets it only when sweeps >= 3,
+    /// which the channel backpressure needs to order the fused final store
+    /// after every neighbour's fused global read); `last` reads
+    /// buf_[(sweeps-1) % 2] and stores straight to the global array.
+    /// Either may be empty: the staged kLoad/kDrain copies take over.
+    std::function<void(sim::FunctionalBlockContext&)> sweep_first;
+    std::function<void(sim::FunctionalBlockContext&)> sweep_last;
+    /// Optional element-wise hook over the band (next, cur, aux pointers to
+    /// the first band unit); null aux when no aux field is resident.
+    std::function<void(T*, const T*, T*)> post;
+    const T* src = nullptr;  ///< initial state (full array)
+    T* dst = nullptr;        ///< final state target (full array)
+    T* aux_global = nullptr; ///< optional aux field (full array)
+    Index unit_elems = 0;
+    Index band = 0;  ///< units owned by this tile
+    Index ht = 0;    ///< halo units above (toward unit 0)
+    Index hb = 0;    ///< halo units below
+    Index u0 = 0;    ///< first band unit in the global arrays
+    int sweeps = 0;
+    T* buf_a = nullptr;
+    T* buf_b = nullptr;
+    T* aux_res = nullptr;
+    sim::HaloChannel* in_lo = nullptr;   ///< from the tile above: ht units
+    sim::HaloChannel* in_hi = nullptr;   ///< from the tile below: hb units
+    sim::HaloChannel* out_lo = nullptr;  ///< to the tile above: my top hb units
+    sim::HaloChannel* out_hi = nullptr;  ///< to the tile below: my bottom ht units
+  };
+
+  explicit ResidentBandTile(Wiring w) : w_(std::move(w)) {}
+
+  [[nodiscard]] bool done() const override { return state_ == State::kDone; }
+
+  [[nodiscard]] bool try_advance() override {
+    switch (state_) {
+      case State::kLoad: {
+        if (!w_.sweep_first) {
+          // Staged load: copy the band into residence and publish the
+          // initial boundary as epoch 0. (With a fused first sweep the
+          // global array itself serves as epoch 0.)
+          copy_units(w_.buf_a + w_.ht * w_.unit_elems, w_.src + w_.u0 * w_.unit_elems,
+                     w_.band);
+          publish_boundaries(w_.buf_a, 0);
+        }
+        if (w_.aux_res != nullptr) {
+          copy_units(w_.aux_res, w_.aux_global + w_.u0 * w_.unit_elems, w_.band);
+        }
+        state_ = w_.sweeps > 0 ? State::kStep : State::kDrain;
+        return true;
+      }
+      case State::kStep: {
+        const bool fused_first = s_ == 0 && static_cast<bool>(w_.sweep_first);
+        const bool fused_last =
+            s_ == w_.sweeps - 1 && static_cast<bool>(w_.sweep_last);
+        // All-or-nothing readiness: input epoch present (unless this sweep
+        // reads the global array) and output halo slots free, otherwise
+        // yield to another tile.
+        if (!fused_first) {
+          if (w_.in_lo != nullptr && !w_.in_lo->available(s_)) return false;
+          if (w_.in_hi != nullptr && !w_.in_hi->available(s_)) return false;
+        }
+        const bool will_publish = s_ + 1 < w_.sweeps;  // the final boundary
+                                                       // has no consumer
+        if (will_publish) {
+          if (w_.out_lo != nullptr && !w_.out_lo->can_publish(s_ + 1)) return false;
+          if (w_.out_hi != nullptr && !w_.out_hi->can_publish(s_ + 1)) return false;
+        }
+        if (!fused_first) replicate_domain_edges();
+        const auto& body = fused_first ? w_.sweep_first
+                           : fused_last ? w_.sweep_last
+                                        : w_.sweep[flip_];
+        sim::run_grid_on_caller(*w_.arch, w_.cfg, body);
+        // The consumed halos (epoch s_) free up for epoch s_ + 2.
+        if (w_.in_lo != nullptr) w_.in_lo->release(s_);
+        if (w_.in_hi != nullptr) w_.in_hi->release(s_);
+        if (w_.post) {
+          w_.post(next_buf() + w_.ht * w_.unit_elems, cur_buf() + w_.ht * w_.unit_elems,
+                  w_.aux_res);
+        }
+        if (will_publish) publish_boundaries(next_buf(), s_ + 1);
+        flip_ ^= 1;
+        ++s_;
+        if (s_ == w_.sweeps) state_ = State::kDrain;
+        return true;
+      }
+      case State::kDrain: {
+        if (!w_.sweep_last && w_.sweeps > 0) {
+          copy_units(w_.dst + w_.u0 * w_.unit_elems, cur_buf() + w_.ht * w_.unit_elems,
+                     w_.band);
+        }
+        if (w_.aux_res != nullptr) {
+          copy_units(w_.aux_global + w_.u0 * w_.unit_elems, w_.aux_res, w_.band);
+        }
+        state_ = State::kDone;
+        return true;
+      }
+      case State::kDone:
+        return false;
+    }
+    return false;  // unreachable
+  }
+
+ private:
+  enum class State { kLoad, kStep, kDrain, kDone };
+
+  [[nodiscard]] T* cur_buf() const { return flip_ == 0 ? w_.buf_a : w_.buf_b; }
+  [[nodiscard]] T* next_buf() const { return flip_ == 0 ? w_.buf_b : w_.buf_a; }
+
+  void copy_units(T* dst, const T* src, Index units) const {
+    std::memcpy(dst, src, static_cast<std::size_t>(units * w_.unit_elems) * sizeof(T));
+  }
+
+  /// Domain-boundary halos (no neighbour tile) replicate the band edge unit
+  /// of the current state — exactly what the full-grid kernels' clamped
+  /// loads would read. Channel-side halos need nothing here: the producer
+  /// already wrote epoch s_ into this buffer's halo region.
+  void replicate_domain_edges() {
+    T* buf = cur_buf();
+    const Index ue = w_.unit_elems;
+    if (w_.in_lo == nullptr) {
+      for (Index u = 0; u < w_.ht; ++u) copy_units(buf + u * ue, buf + w_.ht * ue, 1);
+    }
+    if (w_.in_hi == nullptr) {
+      T* below = buf + (w_.ht + w_.band) * ue;
+      const T* edge = buf + (w_.ht + w_.band - 1) * ue;
+      for (Index u = 0; u < w_.hb; ++u) copy_units(below + u * ue, edge, 1);
+    }
+  }
+
+  /// Publishes the boundary of `buf`'s band as epoch `e` — written directly
+  /// into the consumer's buffer-(e%2) halo region (zero-copy channels).
+  void publish_boundaries(const T* buf, std::int64_t e) {
+    const Index ue = w_.unit_elems;
+    if (w_.out_lo != nullptr) {  // my top hb units feed the upper tile's lower halo
+      std::memcpy(w_.out_lo->publish_slot(e), buf + w_.ht * ue,
+                  static_cast<std::size_t>(w_.hb * ue) * sizeof(T));
+      w_.out_lo->publish(e);
+    }
+    if (w_.out_hi != nullptr) {  // my bottom ht units feed the lower tile's upper halo
+      std::memcpy(w_.out_hi->publish_slot(e), buf + w_.band * ue,
+                  static_cast<std::size_t>(w_.ht * ue) * sizeof(T));
+      w_.out_hi->publish(e);
+    }
+  }
+
+  Wiring w_;
+  State state_ = State::kLoad;
+  int flip_ = 0;
+  int s_ = 0;
+};
+
+/// Band partition of `n` units into at most `want` tiles, each a multiple
+/// of `align` units (except possibly the last) and at least `min_band`
+/// units. Returns the first unit of each tile plus the end sentinel.
+[[nodiscard]] inline std::vector<Index> partition_bands(Index n, int want, Index align,
+                                                        Index min_band) {
+  align = align < 1 ? 1 : align;
+  min_band = std::max<Index>({min_band, align, 1});
+  int tiles = std::max(1, want);
+  tiles = static_cast<int>(std::min<Index>(tiles, std::max<Index>(1, n / min_band)));
+  Index per = static_cast<Index>(ceil_div(n, static_cast<Index>(tiles)));
+  per = static_cast<Index>(ceil_div(per, align)) * align;
+  tiles = static_cast<int>(ceil_div(n, per));
+  // A too-short trailing band cannot source its neighbour's halo: merge it.
+  if (tiles > 1 && n - static_cast<Index>(tiles - 1) * per < min_band) --tiles;
+  std::vector<Index> starts(static_cast<std::size_t>(tiles) + 1);
+  for (int i = 0; i < tiles; ++i) starts[static_cast<std::size_t>(i)] = i * per;
+  starts[static_cast<std::size_t>(tiles)] = n;
+  return starts;
+}
+
+[[nodiscard]] inline sim::PersistentWorkspace& default_workspace() {
+  thread_local sim::PersistentWorkspace ws;
+  return ws;
+}
+
+/// Auto tile count: enough tiles that each residence buffer stays around
+/// kTargetResidenceBytes (measured sweet spot: a ping/pong pair fits the
+/// owner's private cache, so consecutive sweeps of a burst run out of L2),
+/// but never fewer than two tiles per pool worker.
+inline constexpr std::size_t kTargetResidenceBytes = std::size_t{512} << 10;
+
+[[nodiscard]] inline int auto_tiles(Index units, std::size_t unit_bytes) {
+  const Index desired_band = std::max<Index>(
+      1, static_cast<Index>(kTargetResidenceBytes / std::max<std::size_t>(unit_bytes, 1)));
+  const auto by_size = static_cast<int>(ceil_div(units, desired_band));
+  return std::max(2 * ThreadPool::global().size(), by_size);
+}
+
+[[nodiscard]] inline bool choose_persistent(IterationPolicy policy, int sweeps) {
+  switch (policy) {
+    case IterationPolicy::kRelaunch:
+      return false;
+    case IterationPolicy::kPersistent:
+      return true;
+    case IterationPolicy::kAuto:
+      return sweeps >= 2;  // one sweep cannot amortize tile setup
+  }
+  return false;
+}
+
+}  // namespace detail
+
+/// Runs `sweeps` stencil sweeps (each advancing `opt.t` fused time steps)
+/// over `a`; the final state ends in `a`. `b` is scratch used only by the
+/// relaunch fallback. The optional `post` hook
+/// `post(GridView2D<T> next, GridView2D<const T> cur, GridView2D<T> aux)`
+/// runs element-wise over each band right after its sweep (requires
+/// opt.t == 1); `aux` is an optional second field kept resident with the
+/// tile. Outputs are bit-identical to the per-step relaunch path.
+template <typename T, typename PostFn = detail::NoPost>
+PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2D<T>& a,
+                                                Grid2D<T>& b, const StencilShape<T>& shape,
+                                                int sweeps,
+                                                const PersistentOptions& opt = {},
+                                                PostFn post = {}, Grid2D<T>* aux = nullptr,
+                                                sim::PersistentWorkspace* ws = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>, "residence buffers hold raw elements");
+  constexpr bool kHasPost = !std::is_same_v<PostFn, detail::NoPost>;
+  SSAM_REQUIRE(sweeps >= 0, "negative sweep count");
+  SSAM_REQUIRE(a.width() == b.width() && a.height() == b.height(),
+               "ping/pong grids must match");
+  if constexpr (kHasPost) {
+    SSAM_REQUIRE(opt.t == 1, "post hook requires t == 1 (halos carry post-processed state)");
+  }
+  if (aux != nullptr) {
+    SSAM_REQUIRE(aux->width() == a.width() && aux->height() == a.height(),
+                 "aux grid must match the state grid");
+  }
+  const SystolicPlan<T> plan = build_plan(shape.taps);
+  const TemporalSsamOptions topt{opt.t, opt.p, opt.block_threads};
+  const StencilOptions sopt{opt.p, opt.block_threads};
+  PersistentRunStats r;
+  r.sweeps = sweeps;
+  r.t = opt.t;
+
+  if (!detail::choose_persistent(opt.policy, sweeps)) {
+    if (sweeps > 0) {
+      auto run_sweeps = [&](const sim::LaunchConfig& cfg, auto& ping, auto& pong) {
+        for (int sw = 0; sw < sweeps; ++sw) {
+          if (sw % 2 == 0) {
+            (void)sim::launch(arch, cfg, ping, ExecMode::kFunctional);
+          } else {
+            (void)sim::launch(arch, cfg, pong, ExecMode::kFunctional);
+          }
+          if constexpr (kHasPost) {
+            Grid2D<T>& nxt = (sw % 2 == 0) ? b : a;
+            Grid2D<T>& cur = (sw % 2 == 0) ? a : b;
+            post(nxt.view(), cur.cview(),
+                 aux != nullptr ? aux->view() : GridView2D<T>{});
+          }
+        }
+        if (sweeps % 2 == 1) std::swap(a, b);
+      };
+      if (opt.t == 1) {
+        const detail::Stencil2dSetup s = detail::stencil2d_setup(a.cview(), plan, sopt);
+        auto ping = detail::make_stencil2d_body<T>(s, a.cview(), plan.passes.front(),
+                                                   b.view());
+        auto pong = detail::make_stencil2d_body<T>(s, b.cview(), plan.passes.front(),
+                                                   a.view());
+        run_sweeps(s.cfg, ping, pong);
+      } else {
+        const detail::Stencil2dSetup s =
+            detail::stencil2d_temporal_setup(a.cview(), plan, topt);
+        auto ping = detail::make_stencil2d_temporal_body<T>(
+            s, a.cview(), plan.passes.front(), opt.t, plan.rows_halo(), b.view());
+        auto pong = detail::make_stencil2d_temporal_body<T>(
+            s, b.cview(), plan.passes.front(), opt.t, plan.rows_halo(), a.view());
+        run_sweeps(s.cfg, ping, pong);
+      }
+    }
+    return r;
+  }
+
+  const Index w = a.width();
+  const Index h = a.height();
+  const int dy_max = plan.dy_min + plan.rows_halo();
+  const Index ht = static_cast<Index>(-opt.t * plan.dy_min);
+  const Index hb = static_cast<Index>(opt.t * dy_max);
+  const int want = opt.tiles > 0
+                       ? opt.tiles
+                       : detail::auto_tiles(h, static_cast<std::size_t>(w) * sizeof(T));
+  const std::vector<Index> starts = detail::partition_bands(
+      h, want, static_cast<Index>(opt.p), std::max<Index>({ht, hb, 1}));
+  const int tiles = static_cast<int>(starts.size()) - 1;
+  r.tiles = tiles;
+  r.persistent = true;
+  if (sweeps == 0) return r;
+
+  sim::PersistentWorkspace& wsp = ws != nullptr ? *ws : detail::default_workspace();
+  // Skew successive buffers by a quarter page + a cache line so the cur/next
+  // read and write streams (page-multiple apart otherwise) do not collide in
+  // the same L1/L2 sets.
+  const Index skew = static_cast<Index>(1024 + 16);
+  std::size_t elems = 0;
+  for (int i = 0; i < tiles; ++i) {
+    const Index band = starts[static_cast<std::size_t>(i) + 1] - starts[static_cast<std::size_t>(i)];
+    elems += static_cast<std::size_t>((2 * (ht + band + hb + 1) + (aux != nullptr ? band : 0)) * w);
+  }
+  elems += static_cast<std::size_t>(skew) * static_cast<std::size_t>(3 * tiles + 3);
+  T* base = reinterpret_cast<T*>(wsp.arena(elems * sizeof(T)));
+  const std::span<sim::HaloChannel> chans =
+      wsp.channels(tiles > 1 ? static_cast<std::size_t>(2 * (tiles - 1)) : 0);
+
+  // Carve every tile's buffers first: the zero-copy channels point into the
+  // *neighbour's* buffers, so all addresses must exist before wiring.
+  std::vector<T*> buf_a(static_cast<std::size_t>(tiles));
+  std::vector<T*> buf_b(static_cast<std::size_t>(tiles));
+  std::vector<T*> aux_res(static_cast<std::size_t>(tiles), nullptr);
+  {
+    T* carve = base;
+    for (int i = 0; i < tiles; ++i) {
+      const Index band =
+          starts[static_cast<std::size_t>(i) + 1] - starts[static_cast<std::size_t>(i)];
+      const Index buf_rows = ht + band + hb;
+      buf_a[static_cast<std::size_t>(i)] = carve;
+      carve += buf_rows * w + skew;
+      buf_b[static_cast<std::size_t>(i)] = carve;
+      carve += buf_rows * w + skew;
+      if (aux != nullptr) {
+        aux_res[static_cast<std::size_t>(i)] = carve;
+        carve += band * w + skew;
+      }
+    }
+  }
+  // Channel 2e   (down, tile e -> e+1): writes tile e+1's upper halo [0, ht).
+  // Channel 2e+1 (up, tile e+1 -> e): writes tile e's lower halo rows.
+  for (int e = 0; e + 1 < tiles; ++e) {
+    const Index band_e =
+        starts[static_cast<std::size_t>(e) + 1] - starts[static_cast<std::size_t>(e)];
+    chans[static_cast<std::size_t>(2 * e)].configure_external(
+        reinterpret_cast<std::byte*>(buf_a[static_cast<std::size_t>(e) + 1]),
+        reinterpret_cast<std::byte*>(buf_b[static_cast<std::size_t>(e) + 1]));
+    const Index lower_halo = (ht + band_e) * w;
+    chans[static_cast<std::size_t>(2 * e) + 1].configure_external(
+        reinterpret_cast<std::byte*>(buf_a[static_cast<std::size_t>(e)] + lower_halo),
+        reinterpret_cast<std::byte*>(buf_b[static_cast<std::size_t>(e)] + lower_halo));
+  }
+
+  std::vector<std::unique_ptr<detail::ResidentBandTile<T>>> tile_objs;
+  tile_objs.reserve(static_cast<std::size_t>(tiles));
+  for (int i = 0; i < tiles; ++i) {
+    const Index y0 = starts[static_cast<std::size_t>(i)];
+    const Index band = starts[static_cast<std::size_t>(i) + 1] - y0;
+    const Index buf_rows = ht + band + hb;
+    typename detail::ResidentBandTile<T>::Wiring wr;
+    wr.arch = &arch;
+    wr.src = a.data();
+    wr.dst = a.data();
+    wr.unit_elems = w;
+    wr.band = band;
+    wr.ht = ht;
+    wr.hb = hb;
+    wr.u0 = y0;
+    wr.sweeps = sweeps;
+    wr.buf_a = buf_a[static_cast<std::size_t>(i)];
+    wr.buf_b = buf_b[static_cast<std::size_t>(i)];
+    if (aux != nullptr) {
+      wr.aux_global = aux->data();
+      wr.aux_res = aux_res[static_cast<std::size_t>(i)];
+    }
+    if (i > 0) {
+      wr.in_lo = &chans[static_cast<std::size_t>(2 * (i - 1))];
+      wr.out_lo = &chans[static_cast<std::size_t>(2 * (i - 1) + 1)];
+    }
+    if (i + 1 < tiles) {
+      wr.out_hi = &chans[static_cast<std::size_t>(2 * i)];
+      wr.in_hi = &chans[static_cast<std::size_t>(2 * i + 1)];
+    }
+
+    const GridView2D<const T> in_a(wr.buf_a, w, buf_rows, w);
+    const GridView2D<const T> in_b(wr.buf_b, w, buf_rows, w);
+    // Store views end at the band so the halo rows of the target buffer are
+    // never written by the sweep (the next exchange fills them).
+    const GridView2D<T> out_a(wr.buf_a, w, ht + band, w);
+    const GridView2D<T> out_b(wr.buf_b, w, ht + band, w);
+    const GridView2D<T> out_global(a.data(), w, y0 + band, w);
+    const int grid_y = static_cast<int>(ceil_div(band, static_cast<Index>(opt.p)));
+    const int last_parity = (sweeps - 1) % 2;
+    auto make_body = [&](Index origin, Index store_off, GridView2D<const T> in,
+                         GridView2D<T> out) {
+      if (opt.t == 1) {
+        detail::Stencil2dSetup s = detail::stencil2d_setup(in, plan, sopt);
+        s.row_origin = origin;
+        s.store_row_offset = store_off;
+        s.cfg.grid.y = grid_y;
+        wr.cfg = s.cfg;
+        return std::function<void(sim::FunctionalBlockContext&)>(
+            detail::make_stencil2d_body<T>(s, in, plan.passes.front(), out));
+      }
+      detail::Stencil2dSetup s = detail::stencil2d_temporal_setup(in, plan, topt);
+      s.row_origin = origin;
+      s.store_row_offset = store_off;
+      s.cfg.grid.y = grid_y;
+      wr.cfg = s.cfg;
+      return std::function<void(sim::FunctionalBlockContext&)>(
+          detail::make_stencil2d_temporal_body<T>(s, in, plan.passes.front(), opt.t,
+                                                  plan.rows_halo(), out));
+    };
+    wr.sweep[0] = make_body(ht, 0, in_a, out_b);
+    wr.sweep[1] = make_body(ht, 0, in_b, out_a);
+    if constexpr (!kHasPost) {
+      // Fused boundary sweeps (see Wiring): first reads the global array,
+      // last stores to it. The first fusion needs sweeps >= 3 so the
+      // channel backpressure orders it against neighbours' final stores.
+      if (sweeps >= 3) {
+        wr.sweep_first = make_body(y0, ht - y0, a.cview(), out_b);
+      }
+      wr.sweep_last = make_body(ht, y0 - ht, last_parity == 0 ? in_a : in_b, out_global);
+    }
+    if constexpr (kHasPost) {
+      wr.post = [post, w, band](T* nb, const T* cb, T* ab) {
+        post(GridView2D<T>(nb, w, band, w), GridView2D<const T>(cb, w, band, w),
+             GridView2D<T>(ab, w, ab != nullptr ? band : 0, w));
+      };
+    }
+    tile_objs.push_back(std::make_unique<detail::ResidentBandTile<T>>(std::move(wr)));
+  }
+
+  std::vector<sim::PersistentTask*> tasks;
+  tasks.reserve(tile_objs.size());
+  for (auto& t : tile_objs) tasks.push_back(t.get());
+  sim::run_persistent(tasks);
+  return r;
+}
+
+/// 3D variant: full-xy z-plane bands. Same contract as the 2D engine; the
+/// post hook signature is
+/// `post(GridView3D<T> next, GridView3D<const T> cur, GridView3D<T> aux)`
+/// over each tile's band planes.
+template <typename T, typename PostFn = detail::NoPost>
+PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3D<T>& a,
+                                                Grid3D<T>& b, const StencilShape<T>& shape,
+                                                int sweeps,
+                                                const PersistentOptions& opt = {},
+                                                PostFn post = {}, Grid3D<T>* aux = nullptr,
+                                                sim::PersistentWorkspace* ws = nullptr) {
+  static_assert(std::is_trivially_copyable_v<T>, "residence buffers hold raw elements");
+  constexpr bool kHasPost = !std::is_same_v<PostFn, detail::NoPost>;
+  SSAM_REQUIRE(sweeps >= 0, "negative sweep count");
+  SSAM_REQUIRE(a.nx() == b.nx() && a.ny() == b.ny() && a.nz() == b.nz(),
+               "ping/pong grids must match");
+  if constexpr (kHasPost) {
+    SSAM_REQUIRE(opt.t == 1, "post hook requires t == 1 (halos carry post-processed state)");
+  }
+  if (aux != nullptr) {
+    SSAM_REQUIRE(aux->nx() == a.nx() && aux->ny() == a.ny() && aux->nz() == a.nz(),
+                 "aux grid must match the state grid");
+  }
+  const SystolicPlan<T> plan = build_plan(shape.taps);
+  const Temporal3DOptions topt{opt.t, opt.p, opt.warps3d};
+  const Stencil3DOptions sopt{opt.p, opt.warps3d};
+  PersistentRunStats r;
+  r.sweeps = sweeps;
+  r.t = opt.t;
+
+  if (!detail::choose_persistent(opt.policy, sweeps)) {
+    if (sweeps > 0) {
+      auto run_sweeps = [&](const sim::LaunchConfig& cfg, auto& ping, auto& pong) {
+        for (int sw = 0; sw < sweeps; ++sw) {
+          if (sw % 2 == 0) {
+            (void)sim::launch(arch, cfg, ping, ExecMode::kFunctional);
+          } else {
+            (void)sim::launch(arch, cfg, pong, ExecMode::kFunctional);
+          }
+          if constexpr (kHasPost) {
+            Grid3D<T>& nxt = (sw % 2 == 0) ? b : a;
+            Grid3D<T>& cur = (sw % 2 == 0) ? a : b;
+            post(nxt.view(), cur.cview(),
+                 aux != nullptr ? aux->view() : GridView3D<T>{});
+          }
+        }
+        if (sweeps % 2 == 1) std::swap(a, b);
+      };
+      if (opt.t == 1) {
+        detail::Stencil3dSetup<T> s = detail::stencil3d_setup(a.cview(), plan, sopt);
+        const sim::LaunchConfig cfg = s.cfg;
+        auto ping = detail::make_stencil3d_body<T>(s, a.cview(), b.view());
+        auto pong = detail::make_stencil3d_body<T>(std::move(s), b.cview(), a.view());
+        run_sweeps(cfg, ping, pong);
+      } else {
+        detail::Temporal3DSetup<T> s = detail::stencil3d_temporal_setup(a.cview(), plan, topt);
+        const sim::LaunchConfig cfg = s.cfg;
+        auto ping = detail::make_stencil3d_temporal_body<T>(s, a.cview(), b.view());
+        auto pong = detail::make_stencil3d_temporal_body<T>(std::move(s), b.cview(), a.view());
+        run_sweeps(cfg, ping, pong);
+      }
+    }
+    return r;
+  }
+
+  const Index nx = a.nx();
+  const Index ny = a.ny();
+  const Index nz = a.nz();
+  const Index plane = nx * ny;
+  const Index hz = static_cast<Index>(opt.t * plan.rz());
+  const int vp = opt.warps3d - 2 * opt.t * plan.rz();
+  SSAM_REQUIRE(vp > 0, "z block too shallow for t fused steps");
+  const int want =
+      opt.tiles > 0
+          ? opt.tiles
+          : detail::auto_tiles(nz, static_cast<std::size_t>(plane) * sizeof(T));
+  const std::vector<Index> starts = detail::partition_bands(
+      nz, want, static_cast<Index>(vp), std::max<Index>(hz, 1));
+  const int tiles = static_cast<int>(starts.size()) - 1;
+  r.tiles = tiles;
+  r.persistent = true;
+  if (sweeps == 0) return r;
+
+  sim::PersistentWorkspace& wsp = ws != nullptr ? *ws : detail::default_workspace();
+  const Index skew = static_cast<Index>(1024 + 16);  // break page-set aliasing
+  std::size_t elems = 0;
+  for (int i = 0; i < tiles; ++i) {
+    const Index band = starts[static_cast<std::size_t>(i) + 1] - starts[static_cast<std::size_t>(i)];
+    elems += static_cast<std::size_t>((2 * (band + 2 * hz) + (aux != nullptr ? band : 0)) * plane);
+  }
+  elems += static_cast<std::size_t>(skew) * static_cast<std::size_t>(3 * tiles + 3);
+  T* base = reinterpret_cast<T*>(wsp.arena(elems * sizeof(T)));
+  const std::span<sim::HaloChannel> chans =
+      wsp.channels(tiles > 1 ? static_cast<std::size_t>(2 * (tiles - 1)) : 0);
+
+  std::vector<T*> buf_a(static_cast<std::size_t>(tiles));
+  std::vector<T*> buf_b(static_cast<std::size_t>(tiles));
+  std::vector<T*> aux_res(static_cast<std::size_t>(tiles), nullptr);
+  {
+    T* carve = base;
+    for (int i = 0; i < tiles; ++i) {
+      const Index band =
+          starts[static_cast<std::size_t>(i) + 1] - starts[static_cast<std::size_t>(i)];
+      const Index buf_planes = band + 2 * hz;
+      buf_a[static_cast<std::size_t>(i)] = carve;
+      carve += buf_planes * plane + skew;
+      buf_b[static_cast<std::size_t>(i)] = carve;
+      carve += buf_planes * plane + skew;
+      if (aux != nullptr) {
+        aux_res[static_cast<std::size_t>(i)] = carve;
+        carve += band * plane + skew;
+      }
+    }
+  }
+  for (int e = 0; e + 1 < tiles; ++e) {
+    const Index band_e =
+        starts[static_cast<std::size_t>(e) + 1] - starts[static_cast<std::size_t>(e)];
+    chans[static_cast<std::size_t>(2 * e)].configure_external(
+        reinterpret_cast<std::byte*>(buf_a[static_cast<std::size_t>(e) + 1]),
+        reinterpret_cast<std::byte*>(buf_b[static_cast<std::size_t>(e) + 1]));
+    const Index lower_halo = (hz + band_e) * plane;
+    chans[static_cast<std::size_t>(2 * e) + 1].configure_external(
+        reinterpret_cast<std::byte*>(buf_a[static_cast<std::size_t>(e)] + lower_halo),
+        reinterpret_cast<std::byte*>(buf_b[static_cast<std::size_t>(e)] + lower_halo));
+  }
+
+  std::vector<std::unique_ptr<detail::ResidentBandTile<T>>> tile_objs;
+  tile_objs.reserve(static_cast<std::size_t>(tiles));
+  for (int i = 0; i < tiles; ++i) {
+    const Index z0 = starts[static_cast<std::size_t>(i)];
+    const Index band = starts[static_cast<std::size_t>(i) + 1] - z0;
+    const Index buf_planes = band + 2 * hz;
+    typename detail::ResidentBandTile<T>::Wiring wr;
+    wr.arch = &arch;
+    wr.src = a.data();
+    wr.dst = a.data();
+    wr.unit_elems = plane;
+    wr.band = band;
+    wr.ht = hz;
+    wr.hb = hz;
+    wr.u0 = z0;
+    wr.sweeps = sweeps;
+    wr.buf_a = buf_a[static_cast<std::size_t>(i)];
+    wr.buf_b = buf_b[static_cast<std::size_t>(i)];
+    if (aux != nullptr) {
+      wr.aux_global = aux->data();
+      wr.aux_res = aux_res[static_cast<std::size_t>(i)];
+    }
+    if (i > 0) {
+      wr.in_lo = &chans[static_cast<std::size_t>(2 * (i - 1))];
+      wr.out_lo = &chans[static_cast<std::size_t>(2 * (i - 1) + 1)];
+    }
+    if (i + 1 < tiles) {
+      wr.out_hi = &chans[static_cast<std::size_t>(2 * i)];
+      wr.in_hi = &chans[static_cast<std::size_t>(2 * i + 1)];
+    }
+
+    const GridView3D<const T> in_a(wr.buf_a, nx, ny, buf_planes);
+    const GridView3D<const T> in_b(wr.buf_b, nx, ny, buf_planes);
+    const GridView3D<T> out_a(wr.buf_a, nx, ny, buf_planes);
+    const GridView3D<T> out_b(wr.buf_b, nx, ny, buf_planes);
+    const GridView3D<T> out_global = a.view();
+    const int last_parity = (sweeps - 1) % 2;
+    // The z-window stores only the band planes; the target buffer's halo
+    // planes are filled by the next exchange. `z0_load` positions the
+    // window in the input array (buffer: hz, global: z0); `store_off`
+    // relocates the store into the other array for the fused sweeps.
+    auto make_body = [&](Index z0_load, Index store_off, GridView3D<const T> in,
+                         GridView3D<T> out) {
+      if (opt.t == 1) {
+        detail::Stencil3dSetup<T> s = detail::stencil3d_setup(in, plan, sopt);
+        s.z_origin = z0_load;
+        s.z_store_lo = z0_load;
+        s.z_store_hi = z0_load + band;
+        s.z_store_offset = store_off;
+        s.cfg.grid.z = static_cast<int>(ceil_div(band, static_cast<Index>(vp)));
+        wr.cfg = s.cfg;
+        return std::function<void(sim::FunctionalBlockContext&)>(
+            detail::make_stencil3d_body<T>(std::move(s), in, out));
+      }
+      detail::Temporal3DSetup<T> s =
+          detail::stencil3d_temporal_setup(in, plan, topt, {z0_load, band});
+      s.z_store_offset = store_off;
+      wr.cfg = s.cfg;
+      return std::function<void(sim::FunctionalBlockContext&)>(
+          detail::make_stencil3d_temporal_body<T>(std::move(s), in, out));
+    };
+    wr.sweep[0] = make_body(hz, 0, in_a, out_b);
+    wr.sweep[1] = make_body(hz, 0, in_b, out_a);
+    if constexpr (!kHasPost) {
+      if (sweeps >= 3) {
+        wr.sweep_first = make_body(z0, hz - z0, a.cview(), out_b);
+      }
+      wr.sweep_last = make_body(hz, z0 - hz, last_parity == 0 ? in_a : in_b, out_global);
+    }
+    if constexpr (kHasPost) {
+      wr.post = [post, nx, ny, band](T* nb, const T* cb, T* ab) {
+        post(GridView3D<T>(nb, nx, ny, band), GridView3D<const T>(cb, nx, ny, band),
+             GridView3D<T>(ab, nx, ny, ab != nullptr ? band : 0));
+      };
+    }
+    tile_objs.push_back(std::make_unique<detail::ResidentBandTile<T>>(std::move(wr)));
+  }
+
+  std::vector<sim::PersistentTask*> tasks;
+  tasks.reserve(tile_objs.size());
+  for (auto& t : tile_objs) tasks.push_back(t.get());
+  sim::run_persistent(tasks);
+  return r;
+}
+
+}  // namespace ssam::core

@@ -38,6 +38,15 @@ struct Stencil2dSetup {
   int anchor = 0;
   Index width = 0;
   Index height = 0;
+  /// Output-row origin of the sweep. The full-grid entry points leave this
+  /// 0; the persistent iteration engine (core/iterate_persistent.hpp) runs
+  /// the same body over a tile's residence buffer by shifting the origin to
+  /// the first band row and shrinking `cfg.grid.y` to the band.
+  Index row_origin = 0;
+  /// Added to the store row only — lets the engine's fused first/last
+  /// sweeps read one array (global grid or residence buffer) and store into
+  /// the other without an intermediate copy.
+  Index store_row_offset = 0;
 };
 
 template <typename T>
@@ -74,6 +83,8 @@ template <typename T>
   const int anchor = s.anchor;
   const Index width = s.width;
   const Index height = s.height;
+  const Index oy_origin = s.row_origin;
+  const Index store_off = s.store_row_offset;
   return [=, pass = std::move(pass)](auto& blk) {
     for (int w = 0; w < blk.warp_count(); ++w) {
       auto& wc = blk.warp(w);
@@ -81,7 +92,7 @@ template <typename T>
           static_cast<long long>(blk.id().x) * geom.warps_per_block() + w;
       const Index col0 = geom.lane0_col(warp_linear);
       if (col0 - geom.dx_min >= width) continue;
-      const Index row0 = static_cast<Index>(blk.id().y) * geom.p + dy_min;
+      const Index row0 = oy_origin + static_cast<Index>(blk.id().y) * geom.p + dy_min;
 
       auto rc = make_register_cache<T>(wc, geom.c());
       rc.load_rows(in, col0, row0);
@@ -98,7 +109,8 @@ template <typename T>
         result[i] = sum;
       }
 
-      store_valid_rows(wc, out, col0 - anchor, static_cast<Index>(blk.id().y) * geom.p,
+      store_valid_rows(wc, out, col0 - anchor,
+                       oy_origin + store_off + static_cast<Index>(blk.id().y) * geom.p,
                        geom.p, geom.span,
                        [&](int i) -> const Reg<T>& { return result[i]; });
     }

@@ -74,6 +74,8 @@ template <typename T>
   const int anchor = s.anchor;
   const Index width = s.width;
   const Index height = s.height;
+  const Index oy_origin = s.row_origin;
+  const Index store_off = s.store_row_offset;
   return [=, pass = std::move(pass)](auto& blk) {
     for (int w = 0; w < blk.warp_count(); ++w) {
       auto& wc = blk.warp(w);
@@ -82,7 +84,7 @@ template <typename T>
       const Index col0 = geom.lane0_col(warp_linear);
       if (col0 - geom.dx_min >= width) continue;
       // base_t = oy0 + t*dy_min  =>  base_0 = oy0 + t*dy_min.
-      const Index row0 = static_cast<Index>(blk.id().y) * geom.p +
+      const Index row0 = oy_origin + static_cast<Index>(blk.id().y) * geom.p +
                          static_cast<Index>(t) * dy_min;
 
       auto rc = make_register_cache<T>(wc, geom.c());
@@ -115,7 +117,8 @@ template <typename T>
 
       // After t sweeps lane l's value sits at out_x = col(l) - t*anchor.
       store_valid_rows(wc, out, col0 - static_cast<Index>(t) * anchor,
-                       static_cast<Index>(blk.id().y) * geom.p, geom.p, geom.span,
+                       oy_origin + store_off + static_cast<Index>(blk.id().y) * geom.p,
+                       geom.p, geom.span,
                        [&](int i) -> const Reg<T>& { return (*cur)[i]; });
     }
   };

@@ -53,6 +53,17 @@ struct Stencil3dSetup {
   Index nx = 0;
   Index ny = 0;
   Index nz = 0;
+  /// Output z-window of the sweep. Full-grid entry points cover [0, nz);
+  /// the persistent iteration engine (core/iterate_persistent.hpp) shifts
+  /// the origin into a tile's residence buffer and stores only the band
+  /// planes [z_store_lo, z_store_hi), shrinking `cfg.grid.z` to match.
+  Index z_origin = 0;
+  Index z_store_lo = 0;
+  Index z_store_hi = 0;  ///< set to nz by stencil3d_setup
+  /// Added to the store plane only — lets the engine's fused first/last
+  /// sweeps read one array (global grid or residence buffer) and store into
+  /// the other without an intermediate copy.
+  Index z_store_offset = 0;
   bool has_center = false;
   ColumnPass<T> center_pass;
   std::vector<ColumnPass<T>> off_passes;  ///< dz != 0 passes, by value
@@ -103,6 +114,7 @@ template <typename T>
   s.dy_min = plan.dy_min;
   s.anchor = plan.anchor_dx;
   s.vp = s.geom3.valid_planes();
+  s.z_store_hi = s.nz;
   return s;
 }
 
@@ -133,7 +145,8 @@ template <typename T>
 
     const Index col0 = geom.lane0_col(blk.id().x);  // one warp stripe per block in x
     const Index row0 = static_cast<Index>(blk.id().y) * p + dy_min;
-    const Index z_first = static_cast<Index>(blk.id().z) * vp - geom3.rz;
+    const Index z_first =
+        s.z_origin + static_cast<Index>(blk.id().z) * vp - geom3.rz;
 
     // Per-warp dz=0 partial sums kept across the barrier, flattened to
     // [warp * p + i] in a fixed inline buffer (registers, not heap).
@@ -183,9 +196,10 @@ template <typename T>
     for (int w = geom3.rz; w < warps - geom3.rz; ++w) {
       auto& wc = blk.warp(w);
       const Index pz = z_first + w;
-      if (pz < 0 || pz >= nz) continue;
+      if (pz < s.z_store_lo || pz >= s.z_store_hi) continue;
 
-      const GridView2D<T> plane{out.data() + pz * ny * nx, nx, ny, nx};
+      const GridView2D<T> plane{out.data() + (pz + s.z_store_offset) * ny * nx, nx, ny,
+                                nx};
       store_valid_rows(wc, plane, col0 - anchor, static_cast<Index>(blk.id().y) * p, p,
                        geom.span, [&](int i) {
                          Reg<T> sum = center_sum[w * p + i];

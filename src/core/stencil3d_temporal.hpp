@@ -13,8 +13,13 @@
 //      level's register rows.
 // Validity shrinks every step: rz planes per side (z), `span` lanes (x),
 // dy-span rows (y) — the 3D generalization of the 2D ghost-zone scheme.
+//
+// Structured as setup + body maker (like stencil3d.hpp) so the persistent
+// iteration engine (core/iterate_persistent.hpp) can build an owned body
+// once per tile and replay it inline on the tile's owner worker.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "core/stencil3d.hpp"
@@ -33,65 +38,122 @@ struct Temporal3DOptions {
   return 2 * c0 + p * passes + 12;
 }
 
+namespace detail {
+
+/// Output z-window of a temporal 3D sweep: planes [origin, origin + count)
+/// are stored. The full-grid entry point covers the whole volume; the
+/// persistent iteration engine shifts the origin into a tile's residence
+/// buffer and stores only the band planes.
+struct ZWindow3 {
+  Index origin = 0;
+  Index count = -1;  ///< -1: the input's full nz
+};
+
+/// Validated geometry, launch config, and owned pass schedule of a temporal
+/// 3D sweep (owning the passes keeps the body self-contained).
 template <typename T>
-KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
-                                    const GridView3D<const T>& in,
-                                    const SystolicPlan<T>& plan, GridView3D<T> out,
-                                    const Temporal3DOptions& opt = {},
-                                    ExecMode mode = ExecMode::kFunctional,
-                                    SampleSpec sample = {}) {
-  const int rz = plan.rz();
-  const int t = opt.t;
+struct Temporal3DSetup {
+  Blocking2D geom;
+  sim::LaunchConfig cfg;
+  int t = 1;
+  int rz = 0;
+  int vp = 0;  ///< valid output planes per block
+  int n_off = 0;
+  int dy_min = 0;
+  int anchor = 0;
+  int dy_span = 0;
+  Index nx = 0;
+  Index ny = 0;
+  Index nz = 0;
+  Index z_lo = 0;  ///< first stored plane
+  Index z_hi = 0;  ///< one past the last stored plane
+  /// Added to the store plane only (fused first/last sweeps of the
+  /// persistent engine store across arrays).
+  Index z_store_offset = 0;
+  bool has_center = false;
+  ColumnPass<T> center_pass;
+  std::vector<ColumnPass<T>> off_passes;
+};
+
+template <typename T>
+[[nodiscard]] Temporal3DSetup<T> stencil3d_temporal_setup(const GridView3D<const T>& in,
+                                                          const SystolicPlan<T>& plan,
+                                                          const Temporal3DOptions& opt,
+                                                          ZWindow3 win = {}) {
+  Temporal3DSetup<T> s;
+  s.rz = plan.rz();
+  s.t = opt.t;
   const int span = plan.span();
-  const int dy_span = plan.rows_halo();
-  SSAM_REQUIRE(t >= 1, "need at least one step");
-  SSAM_REQUIRE(opt.warps > 2 * t * rz, "z block too shallow for t fused steps");
-  SSAM_REQUIRE(sim::kWarpSize - t * span >= 8, "too many fused steps for one warp");
+  s.dy_span = plan.rows_halo();
+  SSAM_REQUIRE(s.t >= 1, "need at least one step");
+  SSAM_REQUIRE(opt.warps > 2 * s.t * s.rz, "z block too shallow for t fused steps");
+  SSAM_REQUIRE(sim::kWarpSize - s.t * span >= 8, "too many fused steps for one warp");
   SSAM_REQUIRE(opt.p >= 1 && opt.p <= kMaxOutputsPerThread,
                "sliding window length exceeds one warp");
-  SSAM_REQUIRE(opt.warps * (opt.p + t * dy_span) <= kMaxBlockRegRows,
+  SSAM_REQUIRE(opt.warps * (opt.p + s.t * s.dy_span) <= kMaxBlockRegRows,
                "per-block register level state exceeds the inline bound");
-  const Index nx = in.nx(), ny = in.ny(), nz = in.nz();
+  s.nx = in.nx();
+  s.ny = in.ny();
+  s.nz = in.nz();
 
-  Blocking2D geom;
-  geom.span = t * span;
-  geom.dx_min = t * plan.dx_min;
-  geom.rows_halo = t * dy_span;
-  geom.p = opt.p;
-  geom.block_threads = opt.warps * sim::kWarpSize;
+  s.geom.span = s.t * span;
+  s.geom.dx_min = s.t * plan.dx_min;
+  s.geom.rows_halo = s.t * s.dy_span;
+  s.geom.p = opt.p;
+  s.geom.block_threads = opt.warps * sim::kWarpSize;
 
-  std::vector<const ColumnPass<T>*> off_passes;
-  const ColumnPass<T>* center_pass = nullptr;
   for (const auto& pass : plan.passes) {
     if (pass.dz == 0) {
-      center_pass = &pass;
+      s.center_pass = pass;
+      s.has_center = true;
     } else {
-      off_passes.push_back(&pass);
+      s.off_passes.push_back(pass);
     }
   }
-  const int n_off = static_cast<int>(off_passes.size());
-  const int vp = opt.warps - 2 * t * rz;  // valid output planes per block
+  s.n_off = static_cast<int>(s.off_passes.size());
+  s.vp = opt.warps - 2 * s.t * s.rz;  // valid output planes per block
+  s.z_lo = win.origin;
+  s.z_hi = win.origin + (win.count < 0 ? s.nz : win.count);
 
-  sim::LaunchConfig cfg;
-  cfg.grid = Dim3{static_cast<int>(ceil_div(nx, geom.valid_cols())),
-                  static_cast<int>(ceil_div(ny, opt.p)),
-                  static_cast<int>(ceil_div(nz, vp))};
-  cfg.block_threads = geom.block_threads;
-  cfg.regs_per_thread = stencil3d_ssam_temporal_regs(
-      dy_span, t, opt.p, static_cast<int>(plan.passes.size()));
+  s.cfg.grid = Dim3{static_cast<int>(ceil_div(s.nx, s.geom.valid_cols())),
+                    static_cast<int>(ceil_div(s.ny, opt.p)),
+                    static_cast<int>(ceil_div(s.z_hi - s.z_lo, s.vp))};
+  s.cfg.block_threads = s.geom.block_threads;
+  s.cfg.regs_per_thread = stencil3d_ssam_temporal_regs(
+      s.dy_span, s.t, opt.p, static_cast<int>(plan.passes.size()));
 
-  const int dy_min = plan.dy_min;
-  const int anchor = plan.anchor_dx;
+  s.dy_min = plan.dy_min;
+  s.anchor = plan.anchor_dx;
+  return s;
+}
 
-  auto body = [&, geom, dy_min, anchor, nx, ny, nz, vp, n_off, rz, t, span,
-               dy_span](auto& blk) {
+/// Mode-generic temporal 3D body. The setup (including the owned passes) is
+/// captured by value, so the body outlives the caller's plan.
+template <typename T>
+[[nodiscard]] auto make_stencil3d_temporal_body(Temporal3DSetup<T> setup,
+                                                GridView3D<const T> in,
+                                                GridView3D<T> out) {
+  return [s = std::move(setup), in, out](auto& blk) {
+    const Blocking2D& geom = s.geom;
+    const ColumnPass<T>* center_pass = s.has_center ? &s.center_pass : nullptr;
+    const std::vector<ColumnPass<T>>& off_passes = s.off_passes;
+    const int t = s.t;
+    const int rz = s.rz;
+    const int vp = s.vp;
+    const int n_off = s.n_off;
+    const int dy_min = s.dy_min;
+    const int anchor = s.anchor;
+    const int dy_span = s.dy_span;
+    const Index nx = s.nx;
+    const Index ny = s.ny;
+    const Index nz = s.nz;
     const int warps = blk.warp_count();
     const int p = geom.p;
     // Largest published level: rows at level 1 = C0 - dy_span.
     const int c0 = p + t * dy_span;
     const int max_rows = std::max(1, c0 - dy_span);
     Smem<T> published = blk.template alloc_smem<T>(warps * std::max(1, n_off) * max_rows *
-                                          sim::kWarpSize);
+                                                   sim::kWarpSize);
     auto smem_base = [&](int warp, int slot, int row) {
       return ((warp * std::max(1, n_off) + slot) * max_rows + row) * sim::kWarpSize;
     };
@@ -99,7 +161,7 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
     const Index col0 = geom.lane0_col(blk.id().x);
     const Index row0 = static_cast<Index>(blk.id().y) * p +
                        static_cast<Index>(t) * dy_min;
-    const Index z_first = static_cast<Index>(blk.id().z) * vp -
+    const Index z_first = s.z_lo + static_cast<Index>(blk.id().z) * vp -
                           static_cast<Index>(t) * rz;
 
     // Per-warp register state across barriers: the current level's rows,
@@ -116,11 +178,11 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
     }
 
     InlineVec<Reg<T>, kMaxBlockRegRows> center_sums(warps * c0);
-    for (int s = 0; s < t; ++s) {
-      const int rows_next = c0 - (s + 1) * dy_span;
-      // Producers this step: warps whose level-s rows are valid.
-      const int w_lo = s * rz;
-      const int w_hi = warps - 1 - s * rz;
+    for (int step = 0; step < t; ++step) {
+      const int rows_next = c0 - (step + 1) * dy_span;
+      // Producers this step: warps whose level-`step` rows are valid.
+      const int w_lo = step * rz;
+      const int w_hi = warps - 1 - step * rz;
       for (int w = w_lo; w <= w_hi; ++w) {
         auto& wc = blk.warp(w);
         for (int r = 0; r < rows_next; ++r) {
@@ -135,7 +197,7 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
           }
           center_sums[w * c0 + r] = s0;
           for (int slot = 0; slot < n_off; ++slot) {
-            const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(slot)];
+            const ColumnPass<T>& pass = off_passes[static_cast<std::size_t>(slot)];
             Reg<T> sum = wc.uniform(T{});
             for (std::size_t ci = 0; ci < pass.columns.size(); ++ci) {
               if (ci > 0) sum = wc.shfl_up(sim::kFullMask, sum, 1);
@@ -143,15 +205,16 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
                 sum = wc.mad(level[w * c0 + r + tap.dy - dy_min], tap.coeff, sum);
               }
             }
-            wc.store_shared(published, wc.template iota<int>(smem_base(w, slot, r), 1), sum);
+            wc.store_shared(published, wc.template iota<int>(smem_base(w, slot, r), 1),
+                            sum);
           }
         }
       }
       blk.sync();
 
-      // Consumers: warps valid at level s+1 combine neighbours' sums.
-      const int c_lo = (s + 1) * rz;
-      const int c_hi = warps - 1 - (s + 1) * rz;
+      // Consumers: warps valid at level `step`+1 combine neighbours' sums.
+      const int c_lo = (step + 1) * rz;
+      const int c_hi = warps - 1 - (step + 1) * rz;
       for (int w = c_lo; w <= c_hi; ++w) {
         auto& wc = blk.warp(w);
         // The next level only reads center_sums and shared memory, never the
@@ -159,7 +222,7 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
         for (int r = 0; r < rows_next; ++r) {
           Reg<T> sum = center_sums[w * c0 + r];
           for (int slot = 0; slot < n_off; ++slot) {
-            const ColumnPass<T>& pass = *off_passes[static_cast<std::size_t>(slot)];
+            const ColumnPass<T>& pass = off_passes[static_cast<std::size_t>(slot)];
             const int producer = w + pass.dz;
             const int deficit = anchor - pass.dx_max;
             Reg<int> sidx = wc.add(wc.lane_id(), smem_base(producer, slot, r) - deficit);
@@ -170,21 +233,35 @@ KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
           level[w * c0 + r] = sum;
         }
       }
-      if (s + 1 < t) blk.sync();  // published buffer is reused next step
+      if (step + 1 < t) blk.sync();  // published buffer is reused next step
     }
 
     // Store: interior warps, P rows each, lanes >= t*span.
     for (int w = t * rz; w < warps - t * rz; ++w) {
       auto& wc = blk.warp(w);
       const Index pz = z_first + w;
-      if (pz < 0 || pz >= nz) continue;
-      const GridView2D<T> plane{out.data() + pz * ny * nx, nx, ny, nx};
+      if (pz < s.z_lo || pz >= s.z_hi) continue;
+      const GridView2D<T> plane{out.data() + (pz + s.z_store_offset) * ny * nx, nx, ny,
+                                nx};
       store_valid_rows(wc, plane, col0 - static_cast<Index>(t) * anchor,
                        static_cast<Index>(blk.id().y) * p, p, geom.span,
                        [&](int i) -> const Reg<T>& { return level[w * c0 + i]; });
     }
   };
+}
 
+}  // namespace detail
+
+template <typename T>
+KernelStats stencil3d_ssam_temporal(const sim::ArchSpec& arch,
+                                    const GridView3D<const T>& in,
+                                    const SystolicPlan<T>& plan, GridView3D<T> out,
+                                    const Temporal3DOptions& opt = {},
+                                    ExecMode mode = ExecMode::kFunctional,
+                                    SampleSpec sample = {}) {
+  detail::Temporal3DSetup<T> s = detail::stencil3d_temporal_setup(in, plan, opt);
+  const sim::LaunchConfig cfg = s.cfg;
+  auto body = detail::make_stencil3d_temporal_body<T>(std::move(s), in, out);
   return sim::launch(arch, cfg, body, mode, sample);
 }
 

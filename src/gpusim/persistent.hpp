@@ -1,0 +1,178 @@
+// Persistent-execution substrate: the scheduling and communication layer of
+// the cross-iteration tile-residency engine (core/iterate_persistent.hpp).
+//
+// The per-step relaunch model (one `launch` or stream op per time step)
+// round-trips the full working set through the global arrays between steps.
+// The persistent model instead emulates a PERKS-style persistent kernel
+// (Zhang et al., arXiv:2204.02064) on the host pool: every tile of the
+// domain is claimed by exactly one pool worker for the *whole* iteration
+// run, the tile's working set stays resident in that worker's storage
+// across steps, and boundary data moves directly between neighbouring tiles
+// through lock-free single-producer/single-consumer halo channels. The
+// device-wide synchronization a real persistent kernel gets from a grid
+// sync is emulated with per-edge epoch counters: a tile may compute step
+// s+1 as soon as *its* neighbours have published their step-s boundary —
+// no global barrier, so tiles pipeline along the dependency wavefront.
+//
+// Three pieces live here; the stencil-specific tile state machines are in
+// core/iterate_persistent.hpp:
+//  * HaloChannel — an epoch-indexed SPSC ring of byte slots with
+//    acquire/release publication. Depth >= 2 guarantees global progress
+//    (see run_persistent below).
+//  * PersistentTask — the polled interface of one resident tile.
+//  * run_persistent — the cooperative scheduler: participants claim tiles
+//    exactly once, burst each owned tile as far as its channels allow, and
+//    a fully blocked participant claims more tiles, so the run completes
+//    with ANY number of participating threads (deadlock-free at pool
+//    size 1 by construction).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "gpusim/launch.hpp"
+
+namespace ssam::sim {
+
+/// Lock-free epoch-indexed halo channel between two neighbouring tiles
+/// (single producer, single consumer). The producer publishes the boundary
+/// rows/planes of state s into slot s % depth; the consumer acquires epoch
+/// s and releases it so the slot can be reused for epoch s + depth. All
+/// ordering is acquire/release on the two epoch counters — the slot bytes
+/// themselves are plain memory handed off by the counters.
+///
+/// Two storage modes:
+///  * internal — the channel owns its ring of slots; the consumer copies
+///    the payload out between `available` and `release`.
+///  * external (zero-copy) — the slots ARE the consumer's two residence
+///    buffers' halo regions (every tile flips buffers once per sweep, so
+///    epoch e's halo lives in buffer e % 2). The producer writes the
+///    boundary directly where the consumer's sweep will read it; no
+///    consumer-side copy exists, and depth is pinned at 2 by the buffer
+///    pair.
+class HaloChannel {
+ public:
+  /// (Re)shapes the channel: `depth` slots of `slot_bytes` each, epochs
+  /// reset. Depth is clamped to >= 2 — with depth 1 two neighbours at the
+  /// same step could block each other (publish needs the consumer to have
+  /// released the previous epoch), stalling the wavefront.
+  void configure(std::size_t slot_bytes, int depth);
+
+  /// Zero-copy mode: epoch e's slot is `dst[e % 2]` (the halo region of
+  /// the consumer's even/odd residence buffer). Depth is 2 by construction.
+  void configure_external(std::byte* dst_even, std::byte* dst_odd);
+
+  /// True when epoch `e` may be published (the consumer has released
+  /// e - depth, so the slot is free).
+  [[nodiscard]] bool can_publish(std::int64_t e) const {
+    return e <= released_.load(std::memory_order_acquire) + depth_;
+  }
+
+  /// Slot to write epoch `e`'s payload into. Only valid when
+  /// `can_publish(e)`; call `publish(e)` after the payload is complete.
+  [[nodiscard]] std::byte* publish_slot(std::int64_t e) {
+    if (external_[0] != nullptr) return external_[e & 1];
+    return slots_.data() + static_cast<std::size_t>(e % depth_) * slot_bytes_;
+  }
+
+  /// Makes epoch `e` visible to the consumer (release store).
+  void publish(std::int64_t e) { published_.store(e, std::memory_order_release); }
+
+  /// True when epoch `e` has been published (acquire load).
+  [[nodiscard]] bool available(std::int64_t e) const {
+    return published_.load(std::memory_order_acquire) >= e;
+  }
+
+  /// Read side of epoch `e`'s slot. Only valid between `available(e)` and
+  /// `release(e)`.
+  [[nodiscard]] const std::byte* peek(std::int64_t e) const {
+    if (external_[0] != nullptr) return external_[e & 1];
+    return slots_.data() + static_cast<std::size_t>(e % depth_) * slot_bytes_;
+  }
+
+  /// Returns epoch `e`'s slot to the producer.
+  void release(std::int64_t e) { released_.store(e, std::memory_order_release); }
+
+  [[nodiscard]] std::size_t slot_bytes() const { return slot_bytes_; }
+  [[nodiscard]] int depth() const { return depth_; }
+
+ private:
+  std::vector<std::byte> slots_;
+  std::byte* external_[2] = {nullptr, nullptr};
+  std::size_t slot_bytes_ = 0;
+  int depth_ = 2;
+  std::atomic<std::int64_t> published_{-1};
+  std::atomic<std::int64_t> released_{-1};
+};
+
+/// One resident tile, polled by the scheduler. `try_advance` attempts the
+/// tile's next state transition (load, one or more steps, drain) and must
+/// never block: when an input epoch is unavailable or an output channel is
+/// full it returns false and the scheduler moves on.
+class PersistentTask {
+ public:
+  virtual ~PersistentTask() = default;
+  PersistentTask() = default;
+  PersistentTask(const PersistentTask&) = delete;
+  PersistentTask& operator=(const PersistentTask&) = delete;
+
+  /// Attempts one unit of progress; returns whether any was made.
+  [[nodiscard]] virtual bool try_advance() = 0;
+  [[nodiscard]] virtual bool done() const = 0;
+};
+
+/// Executes every block of a functional launch grid on the *calling* thread
+/// through its pooled per-worker BlockContext — no fork/join, no helpers.
+/// This is how a resident tile replays its band sweep: the blocks of one
+/// tile run serially on the tile's owner while other tiles run on other
+/// workers, so parallelism comes from tiles, not from blocks.
+template <typename Body>
+void run_grid_on_caller(const ArchSpec& arch, const LaunchConfig& cfg, Body&& body) {
+  FunctionalBlockContext& blk = detail::pooled_functional_context(arch, cfg);
+  const long long total = cfg.grid.count();
+  for (long long flat = 0; flat < total; ++flat) {
+    blk.reset(detail::unflatten_block(flat, cfg.grid));
+    body(blk);
+  }
+}
+
+/// Runs every task to completion on the persistent worker pool.
+///
+/// Tiles are claimed exactly once (dynamic, first-come): each participating
+/// thread starts with one tile and *bursts* every owned tile as far as its
+/// channels allow before moving to the next, which is what keeps a tile's
+/// working set hot in the owner's cache between consecutive steps. A
+/// participant whose owned tiles are all blocked claims another unclaimed
+/// tile — so even a single participant ends up owning the whole grid and
+/// the run completes (channel depth >= 2 makes the globally least-advanced
+/// tile always advanceable; see HaloChannel::configure).
+void run_persistent(std::span<PersistentTask* const> tasks);
+
+/// Reusable storage for a persistent run: a grow-only 64-byte-aligned
+/// arena for tile residency buffers plus a pool of halo channels. Repeated
+/// runs of the same problem (benchmark reps, iterative solvers called in a
+/// loop) reuse the same allocations instead of churning the allocator.
+/// Not thread-safe: one workspace serves one run at a time (the engine's
+/// default workspace is thread_local).
+class PersistentWorkspace {
+ public:
+  /// Arena pointer with room for `bytes`, 64-byte aligned. Reuses the
+  /// previous run's block when it is large enough. Invalidates pointers
+  /// from earlier calls in the same run — carve the run's whole footprint
+  /// with one call.
+  [[nodiscard]] std::byte* arena(std::size_t bytes);
+
+  /// `count` channels for the caller to configure (staged or external).
+  [[nodiscard]] std::span<HaloChannel> channels(std::size_t count);
+
+ private:
+  std::vector<std::byte> arena_;
+  std::vector<HaloChannel> channels_;
+};
+
+}  // namespace ssam::sim
