@@ -8,18 +8,22 @@
 // element-wise pass. Energy must stay bounded under the CFL-stable setting.
 //
 // All time steps run on the persistent iteration engine
-// (core/iterate_persistent.hpp): each z-plane band stays resident on its
-// pool worker across every step, p_prev rides along as a resident aux
-// field, and the element-wise wave update runs as the engine's post hook on
-// each band right after its Laplacian sweep — the halo channels then carry
-// the *updated* pressure, so no step ever round-trips through the global
+// (core/iterate_persistent.hpp), sharded across a virtual two-device group
+// (core/shard.hpp): each device's pool slice owns a z-band shard, every
+// plane band stays resident on its worker across every step, p_prev rides
+// along as a resident aux field, and the element-wise wave update runs as
+// the engine's post hook on each band right after its Laplacian sweep —
+// the halo channels (the inter-device seam included) then carry the
+// *updated* pressure, so no step ever round-trips through the global
 // arrays.
 #include <cmath>
 #include <iostream>
 
 #include "common/grid.hpp"
 #include "core/iterate_persistent.hpp"
+#include "core/shard.hpp"
 #include "core/stencil3d.hpp"
+#include "gpusim/device.hpp"
 #include "gpusim/timing.hpp"
 
 int main() {
@@ -57,9 +61,12 @@ int main() {
       }
     }
   };
+  core::PersistentOptions opt;
+  opt.shard = core::ShardPolicy::sharded(2);
   const auto run = core::iterate_stencil3d_persistent<float>(
-      sim::tesla_v100(), p, scratch, laplace, steps, {}, wave_update, &p_prev);
-  std::cout << "persistent run: " << run.tiles << " resident tiles, " << run.sweeps
+      sim::tesla_v100(), p, scratch, laplace, steps, opt, wave_update, &p_prev);
+  std::cout << "persistent run: " << run.tiles << " resident tiles on " << run.devices
+            << " virtual devices, " << run.sweeps
             << " steps (p_prev resident as aux field)\n";
 
   // Wavefront radius after `steps` steps ~ steps * sqrt(c2) cells.

@@ -2,11 +2,30 @@
 
 #include <cstdlib>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace ssam {
 
 namespace {
 
 thread_local const ThreadPool* tls_owner_pool = nullptr;
+
+/// Pins the calling thread to one core. Best-effort: affinity is a locality
+/// optimization for device-sliced pools, never a correctness requirement.
+void pin_self_to_cpu(int cpu) {
+#if defined(__linux__)
+  if (cpu < 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)cpu;
+#endif
+}
 
 }  // namespace
 
@@ -19,13 +38,19 @@ int hardware_concurrency() {
   return hc == 0 ? 1 : static_cast<int>(hc);
 }
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads, std::vector<int> pin_cpus) {
   const int n = threads < 1 ? 1 : threads;
   queues_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Worker>());
   threads_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    threads_.emplace_back([this, i] { worker_main(i); });
+    const int cpu = pin_cpus.empty()
+                        ? -1
+                        : pin_cpus[static_cast<std::size_t>(i) % pin_cpus.size()];
+    threads_.emplace_back([this, i, cpu] {
+      pin_self_to_cpu(cpu);
+      worker_main(i);
+    });
   }
 }
 

@@ -39,8 +39,12 @@ class ThreadPool {
  public:
   using Task = std::function<void()>;
 
-  /// Spawns `threads` persistent workers (clamped to >= 1).
-  explicit ThreadPool(int threads);
+  /// Spawns `threads` persistent workers (clamped to >= 1). When `pin_cpus`
+  /// is non-empty, worker w is pinned to core pin_cpus[w % pin_cpus.size()]
+  /// (Linux only; silently ignored where unsupported) — the affinity knob of
+  /// the virtual-device layer (gpusim/device.hpp), which carves disjoint
+  /// core sets per device so shards do not migrate across each other.
+  explicit ThreadPool(int threads, std::vector<int> pin_cpus = {});
 
   /// Joins all workers after the queues drain.
   ~ThreadPool();

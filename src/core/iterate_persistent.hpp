@@ -33,15 +33,20 @@
 // load/drain (the hook must see every produced band in residence).
 #pragma once
 
+#include <array>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <string>
 #include <type_traits>
 #include <vector>
 
+#include "common/log.hpp"
 #include "core/iterate.hpp"
+#include "core/shard.hpp"
 #include "core/stencil2d_temporal.hpp"
 #include "core/stencil3d_temporal.hpp"
+#include "gpusim/device.hpp"
 #include "gpusim/persistent.hpp"
 
 namespace ssam::core {
@@ -53,6 +58,7 @@ enum class IterationPolicy { kAuto, kRelaunch, kPersistent };
 
 struct PersistentOptions {
   IterationPolicy policy = IterationPolicy::kAuto;
+  ShardPolicy shard;      ///< single pool, or sharded across virtual devices
   int tiles = 0;  ///< 0: auto (residence-sized bands, >= 2 per worker)
   int t = 1;      ///< fused time steps per sweep (temporal blocking)
   int p = 4;              ///< sliding-window outputs per thread
@@ -65,6 +71,8 @@ struct PersistentRunStats {
   int sweeps = 0;  ///< kernel sweeps executed; plain steps = sweeps * t
   int t = 1;
   int tiles = 1;
+  int devices = 1;          ///< shards actually used (after domain clamping)
+  bool sharded = false;     ///< true: ran across a virtual device group
   bool persistent = false;  ///< false: per-step relaunch path was used
 };
 
@@ -112,6 +120,12 @@ class ResidentBandTile final : public sim::PersistentTask {
     sim::HaloChannel* in_hi = nullptr;   ///< from the tile below: hb units
     sim::HaloChannel* out_lo = nullptr;  ///< to the tile above: my top hb units
     sim::HaloChannel* out_hi = nullptr;  ///< to the tile below: my bottom ht units
+    /// Sharded runs: the owning device's counters, and which outgoing
+    /// channels cross a device seam (diagnostics only — seam channels
+    /// behave exactly like intra-shard ones).
+    sim::DeviceCounters* counters = nullptr;
+    bool seam_lo = false;
+    bool seam_hi = false;
   };
 
   explicit ResidentBandTile(Wiring w) : w_(std::move(w)) {}
@@ -157,6 +171,9 @@ class ResidentBandTile final : public sim::PersistentTask {
                            : fused_last ? w_.sweep_last
                                         : w_.sweep[flip_];
         sim::run_grid_on_caller(*w_.arch, w_.cfg, body);
+        if (w_.counters != nullptr) {
+          w_.counters->sweeps.fetch_add(1, std::memory_order_relaxed);
+        }
         // The consumed halos (epoch s_) free up for epoch s_ + 2.
         if (w_.in_lo != nullptr) w_.in_lo->release(s_);
         if (w_.in_hi != nullptr) w_.in_hi->release(s_);
@@ -214,19 +231,30 @@ class ResidentBandTile final : public sim::PersistentTask {
     }
   }
 
+  void note_publish(std::size_t bytes, bool seam) const {
+    if (w_.counters == nullptr) return;
+    w_.counters->halo_bytes_out.fetch_add(bytes, std::memory_order_relaxed);
+    if (seam) {
+      w_.counters->seam_bytes_out.fetch_add(bytes, std::memory_order_relaxed);
+      w_.counters->seam_epochs_out.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
   /// Publishes the boundary of `buf`'s band as epoch `e` — written directly
   /// into the consumer's buffer-(e%2) halo region (zero-copy channels).
   void publish_boundaries(const T* buf, std::int64_t e) {
     const Index ue = w_.unit_elems;
     if (w_.out_lo != nullptr) {  // my top hb units feed the upper tile's lower halo
-      std::memcpy(w_.out_lo->publish_slot(e), buf + w_.ht * ue,
-                  static_cast<std::size_t>(w_.hb * ue) * sizeof(T));
+      const std::size_t bytes = static_cast<std::size_t>(w_.hb * ue) * sizeof(T);
+      std::memcpy(w_.out_lo->publish_slot(e), buf + w_.ht * ue, bytes);
       w_.out_lo->publish(e);
+      note_publish(bytes, w_.seam_lo);
     }
     if (w_.out_hi != nullptr) {  // my bottom ht units feed the lower tile's upper halo
-      std::memcpy(w_.out_hi->publish_slot(e), buf + w_.band * ue,
-                  static_cast<std::size_t>(w_.ht * ue) * sizeof(T));
+      const std::size_t bytes = static_cast<std::size_t>(w_.ht * ue) * sizeof(T);
+      std::memcpy(w_.out_hi->publish_slot(e), buf + w_.band * ue, bytes);
       w_.out_hi->publish(e);
+      note_publish(bytes, w_.seam_hi);
     }
   }
 
@@ -236,42 +264,9 @@ class ResidentBandTile final : public sim::PersistentTask {
   int s_ = 0;
 };
 
-/// Band partition of `n` units into at most `want` tiles, each a multiple
-/// of `align` units (except possibly the last) and at least `min_band`
-/// units. Returns the first unit of each tile plus the end sentinel.
-[[nodiscard]] inline std::vector<Index> partition_bands(Index n, int want, Index align,
-                                                        Index min_band) {
-  align = align < 1 ? 1 : align;
-  min_band = std::max<Index>({min_band, align, 1});
-  int tiles = std::max(1, want);
-  tiles = static_cast<int>(std::min<Index>(tiles, std::max<Index>(1, n / min_band)));
-  Index per = static_cast<Index>(ceil_div(n, static_cast<Index>(tiles)));
-  per = static_cast<Index>(ceil_div(per, align)) * align;
-  tiles = static_cast<int>(ceil_div(n, per));
-  // A too-short trailing band cannot source its neighbour's halo: merge it.
-  if (tiles > 1 && n - static_cast<Index>(tiles - 1) * per < min_band) --tiles;
-  std::vector<Index> starts(static_cast<std::size_t>(tiles) + 1);
-  for (int i = 0; i < tiles; ++i) starts[static_cast<std::size_t>(i)] = i * per;
-  starts[static_cast<std::size_t>(tiles)] = n;
-  return starts;
-}
-
 [[nodiscard]] inline sim::PersistentWorkspace& default_workspace() {
   thread_local sim::PersistentWorkspace ws;
   return ws;
-}
-
-/// Auto tile count: enough tiles that each residence buffer stays around
-/// kTargetResidenceBytes (measured sweet spot: a ping/pong pair fits the
-/// owner's private cache, so consecutive sweeps of a burst run out of L2),
-/// but never fewer than two tiles per pool worker.
-inline constexpr std::size_t kTargetResidenceBytes = std::size_t{512} << 10;
-
-[[nodiscard]] inline int auto_tiles(Index units, std::size_t unit_bytes) {
-  const Index desired_band = std::max<Index>(
-      1, static_cast<Index>(kTargetResidenceBytes / std::max<std::size_t>(unit_bytes, 1)));
-  const auto by_size = static_cast<int>(ceil_div(units, desired_band));
-  return std::max(2 * ThreadPool::global().size(), by_size);
 }
 
 [[nodiscard]] inline bool choose_persistent(IterationPolicy policy, int sweeps) {
@@ -284,6 +279,27 @@ inline constexpr std::size_t kTargetResidenceBytes = std::size_t{512} << 10;
       return sweeps >= 2;  // one sweep cannot amortize tile setup
   }
   return false;
+}
+
+/// Deterministic one-line record of what the runtime policy knobs resolved
+/// to (no addresses, no timings) — the auto-selection tests pin this shape.
+inline void log_policy_decision(const char* engine, IterationPolicy policy,
+                                const PersistentRunStats& r) {
+  if (log_level() > LogLevel::kDebug) return;
+  const char* requested = policy == IterationPolicy::kAuto        ? "auto"
+                          : policy == IterationPolicy::kRelaunch  ? "relaunch"
+                                                                  : "persistent";
+  std::string m(engine);
+  m += ": policy=";
+  m += requested;
+  m += " -> ";
+  m += r.persistent ? "persistent" : "relaunch";
+  m += r.sharded ? ", shard=sharded(" + std::to_string(r.devices) + ")"
+                 : std::string(", shard=single");
+  m += ", tiles=" + std::to_string(r.tiles);
+  m += ", sweeps=" + std::to_string(r.sweeps);
+  m += ", t=" + std::to_string(r.t);
+  log_debug(m);
 }
 
 }  // namespace detail
@@ -317,12 +333,81 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
   const SystolicPlan<T> plan = build_plan(shape.taps);
   const TemporalSsamOptions topt{opt.t, opt.p, opt.block_threads};
   const StencilOptions sopt{opt.p, opt.block_threads};
+  const Index w = a.width();
+  const Index h = a.height();
+  const int dy_max = plan.dy_min + plan.rows_halo();
+  const Index ht = static_cast<Index>(-opt.t * plan.dy_min);
+  const Index hb = static_cast<Index>(opt.t * dy_max);
+  const Index min_band = std::max<Index>({ht, hb, 1});
   PersistentRunStats r;
   r.sweeps = sweeps;
   r.t = opt.t;
 
   if (!detail::choose_persistent(opt.policy, sweeps)) {
-    if (sweeps > 0) {
+    const detail::ShardSplit sp =
+        detail::split_shards(h, opt.shard, static_cast<Index>(opt.p), min_band);
+    r.devices = sp.sharded() ? sp.shards() : 1;
+    r.sharded = sp.sharded();
+    if (sweeps > 0 && sp.sharded()) {
+      // Sharded relaunch: each device sweeps its shard's rows of the global
+      // grids on its own pool, using the same origin-shifted bodies the
+      // persistent engine uses for fused boundary sweeps, with the store
+      // clipped at the shard seam (rows past the band belong to the next
+      // device). One group barrier per sweep keeps the global arrays
+      // consistent, so seam reads come straight from them and results are
+      // bit-identical to the single-pool per-step path.
+      const int shards = sp.shards();
+      std::vector<sim::LaunchConfig> cfgs(static_cast<std::size_t>(shards));
+      std::array<std::vector<std::function<void(sim::FunctionalBlockContext&)>>, 2>
+          bodies;
+      bodies[0].resize(static_cast<std::size_t>(shards));
+      bodies[1].resize(static_cast<std::size_t>(shards));
+      for (int s = 0; s < shards; ++s) {
+        const Index y0 = sp.starts[static_cast<std::size_t>(s)];
+        const Index band = sp.starts[static_cast<std::size_t>(s) + 1] - y0;
+        const GridView2D<T> out_b(b.data(), w, y0 + band, w);
+        const GridView2D<T> out_a(a.data(), w, y0 + band, w);
+        auto make = [&](GridView2D<const T> in, GridView2D<T> out) {
+          if (opt.t == 1) {
+            detail::Stencil2dSetup st = detail::stencil2d_setup(in, plan, sopt);
+            st.row_origin = y0;
+            st.cfg.grid.y = static_cast<int>(ceil_div(band, static_cast<Index>(opt.p)));
+            cfgs[static_cast<std::size_t>(s)] = st.cfg;
+            return std::function<void(sim::FunctionalBlockContext&)>(
+                detail::make_stencil2d_body<T>(st, in, plan.passes.front(), out));
+          }
+          detail::Stencil2dSetup st = detail::stencil2d_temporal_setup(in, plan, topt);
+          st.row_origin = y0;
+          st.cfg.grid.y = static_cast<int>(ceil_div(band, static_cast<Index>(opt.p)));
+          cfgs[static_cast<std::size_t>(s)] = st.cfg;
+          return std::function<void(sim::FunctionalBlockContext&)>(
+              detail::make_stencil2d_temporal_body<T>(st, in, plan.passes.front(), opt.t,
+                                                      plan.rows_halo(), out));
+        };
+        bodies[0][static_cast<std::size_t>(s)] = make(a.cview(), out_b);
+        bodies[1][static_cast<std::size_t>(s)] = make(b.cview(), out_a);
+      }
+      for (int sw = 0; sw < sweeps; ++sw) {
+        const int parity = sw % 2;
+        sim::for_each_device(sp.devices, [&](int s) {
+          sim::detail::run_functional_grid_on(
+              sp.devices[static_cast<std::size_t>(s)]->pool(), arch,
+              cfgs[static_cast<std::size_t>(s)],
+              bodies[static_cast<std::size_t>(parity)][static_cast<std::size_t>(s)]);
+          if constexpr (kHasPost) {
+            const Index y0 = sp.starts[static_cast<std::size_t>(s)];
+            const Index band = sp.starts[static_cast<std::size_t>(s) + 1] - y0;
+            Grid2D<T>& nxt = parity == 0 ? b : a;
+            Grid2D<T>& cur = parity == 0 ? a : b;
+            post(GridView2D<T>(nxt.data() + y0 * w, w, band, w),
+                 GridView2D<const T>(cur.data() + y0 * w, w, band, w),
+                 aux != nullptr ? GridView2D<T>(aux->data() + y0 * w, w, band, w)
+                                : GridView2D<T>{});
+          }
+        });
+      }
+      if (sweeps % 2 == 1) std::swap(a, b);
+    } else if (sweeps > 0) {
       auto run_sweeps = [&](const sim::LaunchConfig& cfg, auto& ping, auto& pong) {
         for (int sw = 0; sw < sweeps; ++sw) {
           if (sw % 2 == 0) {
@@ -356,73 +441,31 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
         run_sweeps(s.cfg, ping, pong);
       }
     }
+    detail::log_policy_decision("iterate_stencil2d", opt.policy, r);
     return r;
   }
 
-  const Index w = a.width();
-  const Index h = a.height();
-  const int dy_max = plan.dy_min + plan.rows_halo();
-  const Index ht = static_cast<Index>(-opt.t * plan.dy_min);
-  const Index hb = static_cast<Index>(opt.t * dy_max);
-  const int want = opt.tiles > 0
-                       ? opt.tiles
-                       : detail::auto_tiles(h, static_cast<std::size_t>(w) * sizeof(T));
-  const std::vector<Index> starts = detail::partition_bands(
-      h, want, static_cast<Index>(opt.p), std::max<Index>({ht, hb, 1}));
-  const int tiles = static_cast<int>(starts.size()) - 1;
-  r.tiles = tiles;
-  r.persistent = true;
-  if (sweeps == 0) return r;
-
+  detail::BandLayoutRequest req;
+  req.units = h;
+  req.unit_elems = w;
+  req.elem_bytes = sizeof(T);
+  req.ht = ht;
+  req.hb = hb;
+  req.align = static_cast<Index>(opt.p);
+  req.min_band = min_band;
+  req.want_tiles = opt.tiles;
+  req.has_aux = aux != nullptr;
   sim::PersistentWorkspace& wsp = ws != nullptr ? *ws : detail::default_workspace();
-  // Skew successive buffers by a quarter page + a cache line so the cur/next
-  // read and write streams (page-multiple apart otherwise) do not collide in
-  // the same L1/L2 sets.
-  const Index skew = static_cast<Index>(1024 + 16);
-  std::size_t elems = 0;
-  for (int i = 0; i < tiles; ++i) {
-    const Index band = starts[static_cast<std::size_t>(i) + 1] - starts[static_cast<std::size_t>(i)];
-    elems += static_cast<std::size_t>((2 * (ht + band + hb + 1) + (aux != nullptr ? band : 0)) * w);
-  }
-  elems += static_cast<std::size_t>(skew) * static_cast<std::size_t>(3 * tiles + 3);
-  T* base = reinterpret_cast<T*>(wsp.arena(elems * sizeof(T)));
-  const std::span<sim::HaloChannel> chans =
-      wsp.channels(tiles > 1 ? static_cast<std::size_t>(2 * (tiles - 1)) : 0);
-
-  // Carve every tile's buffers first: the zero-copy channels point into the
-  // *neighbour's* buffers, so all addresses must exist before wiring.
-  std::vector<T*> buf_a(static_cast<std::size_t>(tiles));
-  std::vector<T*> buf_b(static_cast<std::size_t>(tiles));
-  std::vector<T*> aux_res(static_cast<std::size_t>(tiles), nullptr);
-  {
-    T* carve = base;
-    for (int i = 0; i < tiles; ++i) {
-      const Index band =
-          starts[static_cast<std::size_t>(i) + 1] - starts[static_cast<std::size_t>(i)];
-      const Index buf_rows = ht + band + hb;
-      buf_a[static_cast<std::size_t>(i)] = carve;
-      carve += buf_rows * w + skew;
-      buf_b[static_cast<std::size_t>(i)] = carve;
-      carve += buf_rows * w + skew;
-      if (aux != nullptr) {
-        aux_res[static_cast<std::size_t>(i)] = carve;
-        carve += band * w + skew;
-      }
-    }
-  }
-  // Channel 2e   (down, tile e -> e+1): writes tile e+1's upper halo [0, ht).
-  // Channel 2e+1 (up, tile e+1 -> e): writes tile e's lower halo rows.
-  for (int e = 0; e + 1 < tiles; ++e) {
-    const Index band_e =
-        starts[static_cast<std::size_t>(e) + 1] - starts[static_cast<std::size_t>(e)];
-    chans[static_cast<std::size_t>(2 * e)].configure_external(
-        reinterpret_cast<std::byte*>(buf_a[static_cast<std::size_t>(e) + 1]),
-        reinterpret_cast<std::byte*>(buf_b[static_cast<std::size_t>(e) + 1]));
-    const Index lower_halo = (ht + band_e) * w;
-    chans[static_cast<std::size_t>(2 * e) + 1].configure_external(
-        reinterpret_cast<std::byte*>(buf_a[static_cast<std::size_t>(e)] + lower_halo),
-        reinterpret_cast<std::byte*>(buf_b[static_cast<std::size_t>(e)] + lower_halo));
-  }
+  const detail::BandLayout L = detail::build_band_layout(req, opt.shard, wsp);
+  const int tiles = L.tiles();
+  r.tiles = tiles;
+  r.devices = L.sharded() ? static_cast<int>(L.devices.size()) : 1;
+  r.sharded = L.sharded();
+  r.persistent = true;
+  detail::log_policy_decision("iterate_stencil2d", opt.policy, r);
+  if (sweeps == 0) return r;
+  const std::vector<Index>& starts = L.starts;
+  const std::span<sim::HaloChannel> chans = L.chans;
 
   std::vector<std::unique_ptr<detail::ResidentBandTile<T>>> tile_objs;
   tile_objs.reserve(static_cast<std::size_t>(tiles));
@@ -440,20 +483,23 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
     wr.hb = hb;
     wr.u0 = y0;
     wr.sweeps = sweeps;
-    wr.buf_a = buf_a[static_cast<std::size_t>(i)];
-    wr.buf_b = buf_b[static_cast<std::size_t>(i)];
+    wr.buf_a = reinterpret_cast<T*>(L.buf_a[static_cast<std::size_t>(i)]);
+    wr.buf_b = reinterpret_cast<T*>(L.buf_b[static_cast<std::size_t>(i)]);
     if (aux != nullptr) {
       wr.aux_global = aux->data();
-      wr.aux_res = aux_res[static_cast<std::size_t>(i)];
+      wr.aux_res = reinterpret_cast<T*>(L.aux[static_cast<std::size_t>(i)]);
     }
     if (i > 0) {
       wr.in_lo = &chans[static_cast<std::size_t>(2 * (i - 1))];
       wr.out_lo = &chans[static_cast<std::size_t>(2 * (i - 1) + 1)];
+      wr.seam_lo = L.seam_after(i - 1);
     }
     if (i + 1 < tiles) {
       wr.out_hi = &chans[static_cast<std::size_t>(2 * i)];
       wr.in_hi = &chans[static_cast<std::size_t>(2 * i + 1)];
+      wr.seam_hi = L.seam_after(i);
     }
+    wr.counters = L.counters_of(i);
 
     const GridView2D<const T> in_a(wr.buf_a, w, buf_rows, w);
     const GridView2D<const T> in_b(wr.buf_b, w, buf_rows, w);
@@ -507,7 +553,16 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
   std::vector<sim::PersistentTask*> tasks;
   tasks.reserve(tile_objs.size());
   for (auto& t : tile_objs) tasks.push_back(t.get());
-  sim::run_persistent(tasks);
+  if (!L.sharded()) {
+    sim::run_persistent(tasks);
+  } else {
+    std::vector<std::span<sim::PersistentTask* const>> groups;
+    groups.reserve(L.tile_range.size());
+    for (const auto& [tb, te] : L.tile_range) {
+      groups.emplace_back(tasks.data() + tb, static_cast<std::size_t>(te - tb));
+    }
+    sim::run_persistent_group(L.devices, groups);
+  }
   return r;
 }
 
@@ -537,12 +592,78 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
   const SystolicPlan<T> plan = build_plan(shape.taps);
   const Temporal3DOptions topt{opt.t, opt.p, opt.warps3d};
   const Stencil3DOptions sopt{opt.p, opt.warps3d};
+  const Index nx = a.nx();
+  const Index ny = a.ny();
+  const Index nz = a.nz();
+  const Index plane = nx * ny;
+  const Index hz = static_cast<Index>(opt.t * plan.rz());
+  const int vp = opt.warps3d - 2 * opt.t * plan.rz();
+  const Index align3 = static_cast<Index>(std::max(vp, 1));
   PersistentRunStats r;
   r.sweeps = sweeps;
   r.t = opt.t;
 
   if (!detail::choose_persistent(opt.policy, sweeps)) {
-    if (sweeps > 0) {
+    const detail::ShardSplit sp =
+        detail::split_shards(nz, opt.shard, align3, std::max<Index>(hz, 1));
+    r.devices = sp.sharded() ? sp.shards() : 1;
+    r.sharded = sp.sharded();
+    if (sweeps > 0 && sp.sharded()) {
+      // Sharded relaunch in 3D: per-device z-band launches over the global
+      // grids with the store window clipped at the shard seam, one group
+      // barrier per sweep (see the 2D engine for the parity argument).
+      SSAM_REQUIRE(vp > 0, "z block too shallow for t fused steps");
+      const int shards = sp.shards();
+      std::vector<sim::LaunchConfig> cfgs(static_cast<std::size_t>(shards));
+      std::array<std::vector<std::function<void(sim::FunctionalBlockContext&)>>, 2>
+          bodies;
+      bodies[0].resize(static_cast<std::size_t>(shards));
+      bodies[1].resize(static_cast<std::size_t>(shards));
+      for (int s = 0; s < shards; ++s) {
+        const Index z0 = sp.starts[static_cast<std::size_t>(s)];
+        const Index band = sp.starts[static_cast<std::size_t>(s) + 1] - z0;
+        auto make = [&](GridView3D<const T> in, GridView3D<T> out) {
+          if (opt.t == 1) {
+            detail::Stencil3dSetup<T> st = detail::stencil3d_setup(in, plan, sopt);
+            st.z_origin = z0;
+            st.z_store_lo = z0;
+            st.z_store_hi = z0 + band;
+            st.cfg.grid.z = static_cast<int>(ceil_div(band, static_cast<Index>(vp)));
+            cfgs[static_cast<std::size_t>(s)] = st.cfg;
+            return std::function<void(sim::FunctionalBlockContext&)>(
+                detail::make_stencil3d_body<T>(std::move(st), in, out));
+          }
+          detail::Temporal3DSetup<T> st =
+              detail::stencil3d_temporal_setup(in, plan, topt, {z0, band});
+          cfgs[static_cast<std::size_t>(s)] = st.cfg;
+          return std::function<void(sim::FunctionalBlockContext&)>(
+              detail::make_stencil3d_temporal_body<T>(std::move(st), in, out));
+        };
+        bodies[0][static_cast<std::size_t>(s)] = make(a.cview(), b.view());
+        bodies[1][static_cast<std::size_t>(s)] = make(b.cview(), a.view());
+      }
+      for (int sw = 0; sw < sweeps; ++sw) {
+        const int parity = sw % 2;
+        sim::for_each_device(sp.devices, [&](int s) {
+          sim::detail::run_functional_grid_on(
+              sp.devices[static_cast<std::size_t>(s)]->pool(), arch,
+              cfgs[static_cast<std::size_t>(s)],
+              bodies[static_cast<std::size_t>(parity)][static_cast<std::size_t>(s)]);
+          if constexpr (kHasPost) {
+            const Index z0 = sp.starts[static_cast<std::size_t>(s)];
+            const Index band = sp.starts[static_cast<std::size_t>(s) + 1] - z0;
+            Grid3D<T>& nxt = parity == 0 ? b : a;
+            Grid3D<T>& cur = parity == 0 ? a : b;
+            post(GridView3D<T>(nxt.data() + z0 * plane, nx, ny, band),
+                 GridView3D<const T>(cur.data() + z0 * plane, nx, ny, band),
+                 aux != nullptr
+                     ? GridView3D<T>(aux->data() + z0 * plane, nx, ny, band)
+                     : GridView3D<T>{});
+          }
+        });
+      }
+      if (sweeps % 2 == 1) std::swap(a, b);
+    } else if (sweeps > 0) {
       auto run_sweeps = [&](const sim::LaunchConfig& cfg, auto& ping, auto& pong) {
         for (int sw = 0; sw < sweeps; ++sw) {
           if (sw % 2 == 0) {
@@ -573,69 +694,32 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
         run_sweeps(cfg, ping, pong);
       }
     }
+    detail::log_policy_decision("iterate_stencil3d", opt.policy, r);
     return r;
   }
 
-  const Index nx = a.nx();
-  const Index ny = a.ny();
-  const Index nz = a.nz();
-  const Index plane = nx * ny;
-  const Index hz = static_cast<Index>(opt.t * plan.rz());
-  const int vp = opt.warps3d - 2 * opt.t * plan.rz();
   SSAM_REQUIRE(vp > 0, "z block too shallow for t fused steps");
-  const int want =
-      opt.tiles > 0
-          ? opt.tiles
-          : detail::auto_tiles(nz, static_cast<std::size_t>(plane) * sizeof(T));
-  const std::vector<Index> starts = detail::partition_bands(
-      nz, want, static_cast<Index>(vp), std::max<Index>(hz, 1));
-  const int tiles = static_cast<int>(starts.size()) - 1;
-  r.tiles = tiles;
-  r.persistent = true;
-  if (sweeps == 0) return r;
-
+  detail::BandLayoutRequest req;
+  req.units = nz;
+  req.unit_elems = plane;
+  req.elem_bytes = sizeof(T);
+  req.ht = hz;
+  req.hb = hz;
+  req.align = align3;
+  req.min_band = std::max<Index>(hz, 1);
+  req.want_tiles = opt.tiles;
+  req.has_aux = aux != nullptr;
   sim::PersistentWorkspace& wsp = ws != nullptr ? *ws : detail::default_workspace();
-  const Index skew = static_cast<Index>(1024 + 16);  // break page-set aliasing
-  std::size_t elems = 0;
-  for (int i = 0; i < tiles; ++i) {
-    const Index band = starts[static_cast<std::size_t>(i) + 1] - starts[static_cast<std::size_t>(i)];
-    elems += static_cast<std::size_t>((2 * (band + 2 * hz) + (aux != nullptr ? band : 0)) * plane);
-  }
-  elems += static_cast<std::size_t>(skew) * static_cast<std::size_t>(3 * tiles + 3);
-  T* base = reinterpret_cast<T*>(wsp.arena(elems * sizeof(T)));
-  const std::span<sim::HaloChannel> chans =
-      wsp.channels(tiles > 1 ? static_cast<std::size_t>(2 * (tiles - 1)) : 0);
-
-  std::vector<T*> buf_a(static_cast<std::size_t>(tiles));
-  std::vector<T*> buf_b(static_cast<std::size_t>(tiles));
-  std::vector<T*> aux_res(static_cast<std::size_t>(tiles), nullptr);
-  {
-    T* carve = base;
-    for (int i = 0; i < tiles; ++i) {
-      const Index band =
-          starts[static_cast<std::size_t>(i) + 1] - starts[static_cast<std::size_t>(i)];
-      const Index buf_planes = band + 2 * hz;
-      buf_a[static_cast<std::size_t>(i)] = carve;
-      carve += buf_planes * plane + skew;
-      buf_b[static_cast<std::size_t>(i)] = carve;
-      carve += buf_planes * plane + skew;
-      if (aux != nullptr) {
-        aux_res[static_cast<std::size_t>(i)] = carve;
-        carve += band * plane + skew;
-      }
-    }
-  }
-  for (int e = 0; e + 1 < tiles; ++e) {
-    const Index band_e =
-        starts[static_cast<std::size_t>(e) + 1] - starts[static_cast<std::size_t>(e)];
-    chans[static_cast<std::size_t>(2 * e)].configure_external(
-        reinterpret_cast<std::byte*>(buf_a[static_cast<std::size_t>(e) + 1]),
-        reinterpret_cast<std::byte*>(buf_b[static_cast<std::size_t>(e) + 1]));
-    const Index lower_halo = (hz + band_e) * plane;
-    chans[static_cast<std::size_t>(2 * e) + 1].configure_external(
-        reinterpret_cast<std::byte*>(buf_a[static_cast<std::size_t>(e)] + lower_halo),
-        reinterpret_cast<std::byte*>(buf_b[static_cast<std::size_t>(e)] + lower_halo));
-  }
+  const detail::BandLayout L = detail::build_band_layout(req, opt.shard, wsp);
+  const int tiles = L.tiles();
+  r.tiles = tiles;
+  r.devices = L.sharded() ? static_cast<int>(L.devices.size()) : 1;
+  r.sharded = L.sharded();
+  r.persistent = true;
+  detail::log_policy_decision("iterate_stencil3d", opt.policy, r);
+  if (sweeps == 0) return r;
+  const std::vector<Index>& starts = L.starts;
+  const std::span<sim::HaloChannel> chans = L.chans;
 
   std::vector<std::unique_ptr<detail::ResidentBandTile<T>>> tile_objs;
   tile_objs.reserve(static_cast<std::size_t>(tiles));
@@ -653,20 +737,23 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
     wr.hb = hz;
     wr.u0 = z0;
     wr.sweeps = sweeps;
-    wr.buf_a = buf_a[static_cast<std::size_t>(i)];
-    wr.buf_b = buf_b[static_cast<std::size_t>(i)];
+    wr.buf_a = reinterpret_cast<T*>(L.buf_a[static_cast<std::size_t>(i)]);
+    wr.buf_b = reinterpret_cast<T*>(L.buf_b[static_cast<std::size_t>(i)]);
     if (aux != nullptr) {
       wr.aux_global = aux->data();
-      wr.aux_res = aux_res[static_cast<std::size_t>(i)];
+      wr.aux_res = reinterpret_cast<T*>(L.aux[static_cast<std::size_t>(i)]);
     }
     if (i > 0) {
       wr.in_lo = &chans[static_cast<std::size_t>(2 * (i - 1))];
       wr.out_lo = &chans[static_cast<std::size_t>(2 * (i - 1) + 1)];
+      wr.seam_lo = L.seam_after(i - 1);
     }
     if (i + 1 < tiles) {
       wr.out_hi = &chans[static_cast<std::size_t>(2 * i)];
       wr.in_hi = &chans[static_cast<std::size_t>(2 * i + 1)];
+      wr.seam_hi = L.seam_after(i);
     }
+    wr.counters = L.counters_of(i);
 
     const GridView3D<const T> in_a(wr.buf_a, nx, ny, buf_planes);
     const GridView3D<const T> in_b(wr.buf_b, nx, ny, buf_planes);
@@ -718,8 +805,49 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
   std::vector<sim::PersistentTask*> tasks;
   tasks.reserve(tile_objs.size());
   for (auto& t : tile_objs) tasks.push_back(t.get());
-  sim::run_persistent(tasks);
+  if (!L.sharded()) {
+    sim::run_persistent(tasks);
+  } else {
+    std::vector<std::span<sim::PersistentTask* const>> groups;
+    groups.reserve(L.tile_range.size());
+    for (const auto& [tb, te] : L.tile_range) {
+      groups.emplace_back(tasks.data() + tb, static_cast<std::size_t>(te - tb));
+    }
+    sim::run_persistent_group(L.devices, groups);
+  }
   return r;
+}
+
+/// Sharded variant of the per-step relaunch driver (core/iterate.hpp): the
+/// same double-buffered step schedule, with each sweep's band launches
+/// distributed across the shard policy's virtual devices (seam-clipped
+/// stores, one group barrier per sweep). Bit-identical to
+/// `iterate_stencil2d` at every shard count; the final state ends in `a`.
+template <typename T>
+PersistentRunStats iterate_stencil2d_sharded(const sim::ArchSpec& arch, Grid2D<T>& a,
+                                             Grid2D<T>& b, const StencilShape<T>& shape,
+                                             int steps, const ShardPolicy& shard,
+                                             const StencilOptions& opt = {}) {
+  PersistentOptions popt;
+  popt.policy = IterationPolicy::kRelaunch;
+  popt.shard = shard;
+  popt.p = opt.p;
+  popt.block_threads = opt.block_threads;
+  return iterate_stencil2d_persistent<T>(arch, a, b, shape, steps, popt);
+}
+
+/// 3D counterpart of iterate_stencil2d_sharded.
+template <typename T>
+PersistentRunStats iterate_stencil3d_sharded(const sim::ArchSpec& arch, Grid3D<T>& a,
+                                             Grid3D<T>& b, const StencilShape<T>& shape,
+                                             int steps, const ShardPolicy& shard,
+                                             const Stencil3DOptions& opt = {}) {
+  PersistentOptions popt;
+  popt.policy = IterationPolicy::kRelaunch;
+  popt.shard = shard;
+  popt.p = opt.p;
+  popt.warps3d = opt.warps;
+  return iterate_stencil3d_persistent<T>(arch, a, b, shape, steps, popt);
 }
 
 }  // namespace ssam::core

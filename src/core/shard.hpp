@@ -1,0 +1,263 @@
+// Domain sharding across virtual devices.
+//
+// The persistent iteration engine (core/iterate_persistent.hpp) decomposes
+// a grid into resident band tiles on ONE worker pool. This layer adds the
+// level above: a `ShardPolicy` splits the same band axis (rows in 2D,
+// z-planes in 3D) into contiguous *shards*, places each shard on its own
+// virtual device (gpusim/device.hpp — a pool slice with its own workspace
+// arena and counters), and wires the two tiles that meet at a shard seam
+// with a *peer* halo channel from the device group. Peer channels are the
+// identical epoch-counted SPSC machinery used inside a shard, configured
+// zero-copy: a boundary published on device d is written directly into the
+// halo region of the neighbouring tile's residence buffer on device d+1,
+// so inter-device exchange costs one memcpy and two atomic counters — no
+// global-array round trip, no staging copy.
+//
+// Sharding never changes results: every tile still computes the same band
+// rows from the same halo state, so sharded runs are bit-identical to
+// single-device runs at every shard count and policy — the invariant the
+// randomized differential suite (tests/test_sharding.cpp) enforces.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "gpusim/device.hpp"
+
+namespace ssam::core {
+
+/// Whether an iterative run stays on one pool or is sharded across virtual
+/// devices.
+enum class ShardMode { kSingle, kSharded };
+
+struct ShardPolicy {
+  ShardMode mode = ShardMode::kSingle;
+  /// Sharded: target device count; 0 = sim::default_device_count()
+  /// (SSAM_DEVICES). Clamped to what the domain and the group can host.
+  int devices = 0;
+  /// Explicit device group (bench/test hook). Null: DeviceGroup::shared(n).
+  sim::DeviceGroup* group = nullptr;
+
+  [[nodiscard]] static ShardPolicy single() { return {}; }
+  [[nodiscard]] static ShardPolicy sharded(int n = 0, sim::DeviceGroup* g = nullptr) {
+    return {ShardMode::kSharded, n, g};
+  }
+};
+
+namespace detail {
+
+/// Band partition of `n` units into at most `want` tiles, each a multiple
+/// of `align` units (except possibly the last) and at least `min_band`
+/// units. Returns the first unit of each tile plus the end sentinel. Used
+/// both for tiles within a shard and for the shard split itself.
+[[nodiscard]] inline std::vector<Index> partition_bands(Index n, int want, Index align,
+                                                        Index min_band) {
+  align = align < 1 ? 1 : align;
+  min_band = std::max<Index>({min_band, align, 1});
+  int tiles = std::max(1, want);
+  tiles = static_cast<int>(std::min<Index>(tiles, std::max<Index>(1, n / min_band)));
+  Index per = static_cast<Index>(ceil_div(n, static_cast<Index>(tiles)));
+  per = static_cast<Index>(ceil_div(per, align)) * align;
+  tiles = static_cast<int>(ceil_div(n, per));
+  // A too-short trailing band cannot source its neighbour's halo: merge it.
+  if (tiles > 1 && n - static_cast<Index>(tiles - 1) * per < min_band) --tiles;
+  std::vector<Index> starts(static_cast<std::size_t>(tiles) + 1);
+  for (int i = 0; i < tiles; ++i) starts[static_cast<std::size_t>(i)] = i * per;
+  starts[static_cast<std::size_t>(tiles)] = n;
+  return starts;
+}
+
+/// Auto tile count for one pool of `workers`: enough tiles that each
+/// residence buffer stays around kTargetResidenceBytes (measured sweet
+/// spot: a ping/pong pair fits the owner's private cache, so consecutive
+/// sweeps of a burst run out of L2), but never fewer than two tiles per
+/// worker.
+inline constexpr std::size_t kTargetResidenceBytes = std::size_t{512} << 10;
+
+[[nodiscard]] inline int auto_tiles_for(int workers, Index units, std::size_t unit_bytes) {
+  const Index desired_band = std::max<Index>(
+      1, static_cast<Index>(kTargetResidenceBytes / std::max<std::size_t>(unit_bytes, 1)));
+  const auto by_size = static_cast<int>(ceil_div(units, desired_band));
+  return std::max(2 * workers, by_size);
+}
+
+/// The shard split of one run: contiguous unit ranges and the device that
+/// owns each. Single mode: one range, no devices (the run stays on the
+/// global pool).
+struct ShardSplit {
+  std::vector<Index> starts;          ///< shard starts + end sentinel
+  std::vector<sim::Device*> devices;  ///< empty in single mode
+  sim::DeviceGroup* group = nullptr;  ///< null in single mode
+
+  [[nodiscard]] int shards() const { return static_cast<int>(starts.size()) - 1; }
+  [[nodiscard]] bool sharded() const { return group != nullptr; }
+};
+
+[[nodiscard]] inline ShardSplit split_shards(Index units, const ShardPolicy& shard,
+                                             Index align, Index min_band) {
+  ShardSplit sp;
+  if (shard.mode != ShardMode::kSharded) {
+    sp.starts = {0, units};
+    return sp;
+  }
+  const int want = shard.devices > 0 ? shard.devices : sim::default_device_count();
+  sp.group = shard.group != nullptr ? shard.group : &sim::DeviceGroup::shared(want);
+  const int avail = std::min(want, sp.group->size());
+  // The partitioner clamps further when the domain cannot host `avail`
+  // min_band-sized shards — "shard count > tile count" degrades gracefully
+  // to fewer (possibly one) shards instead of empty devices.
+  sp.starts = partition_bands(units, avail, align, min_band);
+  sp.devices.reserve(static_cast<std::size_t>(sp.shards()));
+  for (int s = 0; s < sp.shards(); ++s) sp.devices.push_back(&sp.group->device(s));
+  return sp;
+}
+
+/// Geometry request of one sharded (or single) persistent band run. All
+/// sizes are in units (rows or planes) and bytes, so one builder serves the
+/// 2D and 3D engines.
+struct BandLayoutRequest {
+  Index units = 0;            ///< total units on the band axis
+  Index unit_elems = 0;       ///< elements per unit (row width or plane size)
+  std::size_t elem_bytes = 0; ///< sizeof(T)
+  Index ht = 0;               ///< halo units above each band
+  Index hb = 0;               ///< halo units below
+  Index align = 1;            ///< preferred band multiple (p or valid planes)
+  Index min_band = 1;         ///< smallest band that can source a halo
+  int want_tiles = 0;         ///< total tile target; 0 = auto per shard
+  bool has_aux = false;       ///< carve an aux residence buffer per tile
+};
+
+/// The assembled layout: tile starts, per-tile residence buffers carved
+/// from the owning device's arena (or the single workspace), and the
+/// channel pool — seam channels included, wired zero-copy into the
+/// neighbouring tile's buffers exactly like intra-shard channels.
+struct BandLayout {
+  std::vector<Index> starts;              ///< tile starts + end sentinel
+  std::vector<int> device_of;             ///< owning shard per tile
+  std::vector<std::pair<int, int>> tile_range;  ///< per shard: [begin, end) tiles
+  std::vector<std::byte*> buf_a;
+  std::vector<std::byte*> buf_b;
+  std::vector<std::byte*> aux;
+  std::span<sim::HaloChannel> chans;      ///< 2 * (tiles - 1)
+  std::vector<sim::Device*> devices;      ///< empty in single mode
+
+  [[nodiscard]] int tiles() const { return static_cast<int>(starts.size()) - 1; }
+  [[nodiscard]] bool sharded() const { return !devices.empty(); }
+  /// True when the channel pair between tiles i and i+1 crosses a seam.
+  [[nodiscard]] bool seam_after(int i) const {
+    return sharded() && device_of[static_cast<std::size_t>(i)] !=
+                            device_of[static_cast<std::size_t>(i) + 1];
+  }
+  [[nodiscard]] sim::DeviceCounters* counters_of(int tile) const {
+    if (!sharded()) return nullptr;
+    return &devices[static_cast<std::size_t>(device_of[static_cast<std::size_t>(tile)])]
+                ->counters();
+  }
+};
+
+/// Splits the domain into shards and tiles, carves every tile's residence
+/// buffers (single mode: from `ws`; sharded: from each owning device's
+/// workspace arena), and wires all tile-to-tile channels (intra-shard from
+/// the same pool as seams — the group's peer channels — so the engine
+/// treats every edge uniformly).
+[[nodiscard]] inline BandLayout build_band_layout(const BandLayoutRequest& req,
+                                                  const ShardPolicy& shard,
+                                                  sim::PersistentWorkspace& ws) {
+  const Index skew_elems = 1024 + 16;  // break page-set aliasing between buffers
+  const std::size_t unit_bytes =
+      static_cast<std::size_t>(req.unit_elems) * req.elem_bytes;
+  const std::size_t skew_bytes = static_cast<std::size_t>(skew_elems) * req.elem_bytes;
+
+  BandLayout L;
+  ShardSplit sp = split_shards(req.units, shard, req.align, req.min_band);
+  const int shards = sp.shards();
+  L.devices = std::move(sp.devices);
+
+  // Tiles within each shard, concatenated in global band order.
+  for (int s = 0; s < shards; ++s) {
+    const Index u0 = sp.starts[static_cast<std::size_t>(s)];
+    const Index su = sp.starts[static_cast<std::size_t>(s) + 1] - u0;
+    const int workers =
+        L.devices.empty() ? ThreadPool::global().size()
+                          : L.devices[static_cast<std::size_t>(s)]->pool().size();
+    const int want = req.want_tiles > 0
+                         ? std::max(1, (req.want_tiles + shards - 1) / shards)
+                         : auto_tiles_for(workers, su, unit_bytes);
+    const std::vector<Index> t = partition_bands(su, want, req.align, req.min_band);
+    const int begin = static_cast<int>(L.starts.size());
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+      L.starts.push_back(u0 + t[i]);
+      L.device_of.push_back(s);
+    }
+    L.tile_range.emplace_back(begin, static_cast<int>(L.starts.size()));
+  }
+  L.starts.push_back(req.units);
+  const int tiles = L.tiles();
+
+  // Carve residence buffers: one arena call per owning workspace (arena
+  // calls invalidate earlier pointers from the same workspace).
+  L.buf_a.resize(static_cast<std::size_t>(tiles));
+  L.buf_b.resize(static_cast<std::size_t>(tiles));
+  L.aux.resize(static_cast<std::size_t>(tiles), nullptr);
+  auto range_bytes = [&](int tb, int te) {
+    std::size_t total = skew_bytes;  // tail guard
+    for (int i = tb; i < te; ++i) {
+      const Index band = L.starts[static_cast<std::size_t>(i) + 1] -
+                         L.starts[static_cast<std::size_t>(i)];
+      total += 2 * (static_cast<std::size_t>(req.ht + band + req.hb) * unit_bytes +
+                    skew_bytes);
+      if (req.has_aux) total += static_cast<std::size_t>(band) * unit_bytes + skew_bytes;
+    }
+    return total;
+  };
+  auto carve_range = [&](std::byte* p, int tb, int te) {
+    for (int i = tb; i < te; ++i) {
+      const Index band = L.starts[static_cast<std::size_t>(i) + 1] -
+                         L.starts[static_cast<std::size_t>(i)];
+      const std::size_t step =
+          static_cast<std::size_t>(req.ht + band + req.hb) * unit_bytes + skew_bytes;
+      L.buf_a[static_cast<std::size_t>(i)] = p;
+      p += step;
+      L.buf_b[static_cast<std::size_t>(i)] = p;
+      p += step;
+      if (req.has_aux) {
+        L.aux[static_cast<std::size_t>(i)] = p;
+        p += static_cast<std::size_t>(band) * unit_bytes + skew_bytes;
+      }
+    }
+  };
+  if (L.devices.empty()) {
+    carve_range(ws.arena(range_bytes(0, tiles)), 0, tiles);
+  } else {
+    for (int s = 0; s < shards; ++s) {
+      const auto [tb, te] = L.tile_range[static_cast<std::size_t>(s)];
+      carve_range(L.devices[static_cast<std::size_t>(s)]->workspace().arena(
+                      range_bytes(tb, te)),
+                  tb, te);
+    }
+  }
+
+  // Channel wiring, uniform across intra-shard and seam edges.
+  // Channel 2e   (down, tile e -> e+1): writes tile e+1's upper halo.
+  // Channel 2e+1 (up, tile e+1 -> e): writes tile e's lower halo units.
+  const std::size_t n_chans = tiles > 1 ? static_cast<std::size_t>(2 * (tiles - 1)) : 0;
+  L.chans = sp.group != nullptr ? sp.group->peer_channels(n_chans) : ws.channels(n_chans);
+  for (int e = 0; e + 1 < tiles; ++e) {
+    const Index band_e = L.starts[static_cast<std::size_t>(e) + 1] -
+                         L.starts[static_cast<std::size_t>(e)];
+    L.chans[static_cast<std::size_t>(2 * e)].configure_external(
+        L.buf_a[static_cast<std::size_t>(e) + 1], L.buf_b[static_cast<std::size_t>(e) + 1]);
+    const std::size_t lower_halo =
+        static_cast<std::size_t>(req.ht + band_e) * unit_bytes;
+    L.chans[static_cast<std::size_t>(2 * e) + 1].configure_external(
+        L.buf_a[static_cast<std::size_t>(e)] + lower_halo,
+        L.buf_b[static_cast<std::size_t>(e)] + lower_halo);
+  }
+  return L;
+}
+
+}  // namespace detail
+}  // namespace ssam::core

@@ -1,0 +1,144 @@
+// Virtual multi-device layer: one host carved into N cooperating "devices".
+//
+// The persistent engine (gpusim/persistent.hpp) gave one flat worker pool
+// cross-iteration tile residency. This layer reproduces the next level of
+// the systolic composition — Versa-style multi-core dataflow over an
+// explicit interconnect (Kim et al. 2021) — in software: a `Device` is a
+// slice of the host that behaves like one GPU of a multi-GPU node. It owns
+//
+//  * a ThreadPool slice (its own worker threads, optionally pinned to a
+//    disjoint core range so shards never migrate across each other),
+//  * a workspace arena for its shard's residence buffers,
+//  * a stream set whose drains and block fan-out run on the device's pool
+//    only (ops routed to one device never occupy another device's slice),
+//  * traffic counters (band sweeps, halo bytes, seam crossings).
+//
+// A `DeviceGroup` holds N such devices plus the *peer channels* between
+// them: the same epoch-counted SPSC HaloChannels the persistent engine uses
+// inside a shard, configured in zero-copy external mode so a boundary
+// published on device d lands directly in the halo region of the
+// neighbouring tile's residence buffer on device d+1 — no global-array
+// round trip, exactly like a peer-to-peer copy over NVLink. The domain
+// partitioner that wires shards onto a group lives in core/shard.hpp.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "gpusim/persistent.hpp"
+#include "gpusim/stream.hpp"
+
+namespace ssam::sim {
+
+struct DeviceOptions {
+  int threads = 1;            ///< workers in this device's pool slice
+  std::vector<int> pin_cpus;  ///< optional explicit core set (empty: unpinned)
+  std::string name;           ///< diagnostic label ("dev0" when empty)
+};
+
+/// Per-device traffic counters. Tiles of one device publish concurrently
+/// from different workers, so the counts are relaxed atomics; they are
+/// diagnostics, never synchronization.
+struct DeviceCounters {
+  std::atomic<std::uint64_t> sweeps{0};           ///< band sweeps executed
+  std::atomic<std::uint64_t> halo_bytes_out{0};   ///< boundary bytes published
+  std::atomic<std::uint64_t> seam_bytes_out{0};   ///< subset crossing a device seam
+  std::atomic<std::uint64_t> seam_epochs_out{0};  ///< seam boundary publications
+
+  void reset() {
+    sweeps.store(0, std::memory_order_relaxed);
+    halo_bytes_out.store(0, std::memory_order_relaxed);
+    seam_bytes_out.store(0, std::memory_order_relaxed);
+    seam_epochs_out.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// One virtual device: a pool slice + workspace + stream set + counters.
+class Device {
+ public:
+  Device(int index, DeviceOptions opt);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] ThreadPool& pool() { return *pool_; }
+  [[nodiscard]] PersistentWorkspace& workspace() { return workspace_; }
+  [[nodiscard]] DeviceCounters& counters() { return counters_; }
+
+  /// The device's stream set, grown lazily; `stream(0)` is the default
+  /// stream. Streams are bound to the device pool: their drains and their
+  /// launches' block fan-out run on this device's workers only.
+  [[nodiscard]] Stream& stream(std::size_t i = 0);
+  [[nodiscard]] std::size_t stream_count() const;
+
+ private:
+  int index_;
+  std::string name_;
+  std::unique_ptr<ThreadPool> pool_;
+  PersistentWorkspace workspace_;
+  DeviceCounters counters_;
+  mutable std::mutex streams_m_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+};
+
+/// N devices plus the peer-channel pool between them.
+class DeviceGroup {
+ public:
+  explicit DeviceGroup(std::vector<DeviceOptions> devices);
+
+  [[nodiscard]] int size() const { return static_cast<int>(devices_.size()); }
+  [[nodiscard]] Device& device(int i) { return *devices_[static_cast<std::size_t>(i)]; }
+
+  /// `count` channels for the sharding layer to configure as seam and
+  /// intra-shard links. Like PersistentWorkspace::channels: grow-only, one
+  /// run at a time per group (a larger request rebuilds, invalidating
+  /// earlier spans).
+  [[nodiscard]] std::span<HaloChannel> peer_channels(std::size_t count);
+
+  /// Even slicing of the host: `n` devices with max(1, host/n) workers
+  /// each. When the SSAM_DEVICE_PIN environment variable is a positive
+  /// integer, device d's workers are pinned to the contiguous core range
+  /// starting at d * threads_per_device (mod the physical core count).
+  [[nodiscard]] static std::vector<DeviceOptions> even_slices(int n);
+
+  /// Process-wide cached group of `n` even slices. Device pools are
+  /// expensive (real threads), so repeated sharded runs at the same device
+  /// count reuse one group — mirroring how a process opens each physical
+  /// GPU once. Not affected by ThreadPool::reset_global.
+  [[nodiscard]] static DeviceGroup& shared(int n);
+
+ private:
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::vector<HaloChannel> peer_channels_;
+};
+
+/// Device count of ShardPolicy::sharded(0) ("auto"): the SSAM_DEVICES
+/// environment variable when set to a positive integer, otherwise 2.
+[[nodiscard]] int default_device_count();
+
+/// Runs fn(i) once per device, each invocation on a worker of device i's
+/// pool, and blocks until every one returns. The per-device work may itself
+/// use the device pool (parallel loops, run_persistent_on): the caller of a
+/// nested loop participates, so one-worker slices cannot deadlock.
+void for_each_device(std::span<Device* const> devices,
+                     const std::function<void(int)>& fn);
+
+/// Runs each device's task group to completion, every group under its own
+/// device's cooperative scheduler, concurrently across devices. Returns
+/// when all groups are done. Empty groups are skipped. Deadlock-freedom
+/// composes across devices: every tile is polled by some live participant
+/// and seam-channel depth 2 keeps the globally least-advanced tile
+/// advanceable, so the wavefront drains in any schedule.
+void run_persistent_group(std::span<Device* const> devices,
+                          std::span<const std::span<PersistentTask* const>> groups);
+
+}  // namespace ssam::sim

@@ -243,15 +243,18 @@ class FunctionalContextCache {
 /// Dynamic-schedule chunk of the functional grid loop (blocks per claim).
 inline constexpr std::int64_t kFunctionalChunkBlocks = 16;
 
-/// Executes `body` for every block of the grid on the persistent worker
-/// pool. Each participating thread fetches its pooled context once and
-/// `reset()`s it per block. Grids of at most one chunk — the launch queue's
-/// small-grid batch path — run inline on the calling thread with zero
-/// synchronization (see ThreadPool::parallel_run).
+/// Executes `body` for every block of the grid on an explicit worker pool —
+/// the global one for ordinary launches, a virtual device's pool slice for
+/// device-routed work (gpusim/device.hpp). Each participating thread
+/// fetches its pooled context once and `reset()`s it per block. Grids of at
+/// most one chunk — the launch queue's small-grid batch path — run inline
+/// on the calling thread with zero synchronization (see
+/// ThreadPool::parallel_run).
 template <typename Body>
-void run_functional_grid(const ArchSpec& arch, const LaunchConfig& cfg, Body& body) {
+void run_functional_grid_on(ThreadPool& pool, const ArchSpec& arch,
+                            const LaunchConfig& cfg, Body& body) {
   const long long total = cfg.grid.count();
-  ThreadPool::global().parallel_run(
+  pool.parallel_run(
       total, kFunctionalChunkBlocks, [&](ThreadPool::ChunkClaimer& claim) {
         std::int64_t b = 0;
         std::int64_t e = 0;
@@ -264,6 +267,11 @@ void run_functional_grid(const ArchSpec& arch, const LaunchConfig& cfg, Body& bo
           }
         } while (claim.next(b, e));
       });
+}
+
+template <typename Body>
+void run_functional_grid(const ArchSpec& arch, const LaunchConfig& cfg, Body& body) {
+  run_functional_grid_on(ThreadPool::global(), arch, cfg, body);
 }
 }  // namespace detail
 

@@ -42,6 +42,10 @@ std::span<HaloChannel> PersistentWorkspace::channels(std::size_t count) {
 }
 
 void run_persistent(std::span<PersistentTask* const> tasks) {
+  run_persistent_on(ThreadPool::global(), tasks);
+}
+
+void run_persistent_on(ThreadPool& pool, std::span<PersistentTask* const> tasks) {
   const std::int64_t n = static_cast<std::int64_t>(tasks.size());
   if (n == 0) return;
   for (PersistentTask* t : tasks) SSAM_REQUIRE(t != nullptr, "null persistent task");
@@ -49,7 +53,7 @@ void run_persistent(std::span<PersistentTask* const> tasks) {
   // Participants claim tiles through the pool's chunk claimer (chunk = 1 so
   // ownership spreads across workers). The serial fast path of parallel_run
   // hands the whole range to the caller — pool size 1 owns every tile.
-  ThreadPool::global().parallel_run(n, 1, [&](ThreadPool::ChunkClaimer& claim) {
+  pool.parallel_run(n, 1, [&](ThreadPool::ChunkClaimer& claim) {
     std::vector<PersistentTask*> owned;
     auto claim_one = [&] {
       std::int64_t b = 0;

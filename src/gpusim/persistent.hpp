@@ -141,7 +141,7 @@ void run_grid_on_caller(const ArchSpec& arch, const LaunchConfig& cfg, Body&& bo
   }
 }
 
-/// Runs every task to completion on the persistent worker pool.
+/// Runs every task to completion on the global persistent worker pool.
 ///
 /// Tiles are claimed exactly once (dynamic, first-come): each participating
 /// thread starts with one tile and *bursts* every owned tile as far as its
@@ -152,6 +152,16 @@ void run_grid_on_caller(const ArchSpec& arch, const LaunchConfig& cfg, Body&& bo
 /// the run completes (channel depth >= 2 makes the globally least-advanced
 /// tile always advanceable; see HaloChannel::configure).
 void run_persistent(std::span<PersistentTask* const> tasks);
+
+/// Same cooperative scheduler on an explicit pool — the per-device entry
+/// point of the virtual multi-device sharding layer (gpusim/device.hpp):
+/// each Device runs its shard's tiles on its own pool slice while seam
+/// channels carry boundaries between shards. Deadlock-freedom is unchanged:
+/// every tile is owned by some live participant, and a blocked participant
+/// yields, so the globally least-advanced tile (across ALL pools) always
+/// advances. Safe to call from inside a task of `pool` (the caller
+/// participates).
+void run_persistent_on(ThreadPool& pool, std::span<PersistentTask* const> tasks);
 
 /// Reusable storage for a persistent run: a grow-only 64-byte-aligned
 /// arena for tile residency buffers plus a pool of halo channels. Repeated

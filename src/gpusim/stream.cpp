@@ -82,6 +82,12 @@ struct Stream::Impl : std::enable_shared_from_this<Stream::Impl> {
     std::shared_ptr<detail::EventState> dep;   ///< must signal before run
   };
 
+  explicit Impl(ThreadPool* p) : pool(p) {}
+
+  /// Where drains run: a device's slice, or — when null — the *current*
+  /// global pool, resolved per schedule so default streams stay valid
+  /// across ThreadPool::reset_global.
+  ThreadPool* pool;
   std::mutex m;
   std::deque<Op> q;
   bool active = false;  ///< a drain is scheduled, running, or parked on a dep
@@ -89,7 +95,7 @@ struct Stream::Impl : std::enable_shared_from_this<Stream::Impl> {
 
   void schedule() {
     auto self = shared_from_this();
-    LaunchQueue::global().pool().submit([self] { self->drain(); });
+    (pool != nullptr ? *pool : ThreadPool::global()).submit([self] { self->drain(); });
   }
 
   /// Runs queued ops in order until the queue empties or the head op's
@@ -126,7 +132,10 @@ struct Stream::Impl : std::enable_shared_from_this<Stream::Impl> {
   }
 };
 
-Stream::Stream() : impl_(std::make_shared<Impl>()) {}
+Stream::Stream() : impl_(std::make_shared<Impl>(nullptr)) {}
+
+Stream::Stream(ThreadPool& pool)
+    : impl_(std::make_shared<Impl>(&pool)), pool_(&pool) {}
 
 Stream::~Stream() { synchronize(); }
 

@@ -106,6 +106,12 @@ class LaunchQueue {
 class Stream {
  public:
   Stream();
+  /// A stream bound to an explicit pool: its drains run on `pool`'s workers
+  /// and its kernel launches fan blocks out over `pool` instead of the
+  /// global one. This is how a virtual device (gpusim/device.hpp) owns a
+  /// stream set — ops routed to a device never occupy another device's
+  /// slice. `pool` must outlive the stream.
+  explicit Stream(ThreadPool& pool);
   ~Stream();  ///< synchronizes before destruction
 
   // Not movable: moving away the impl would orphan in-flight ops (no handle
@@ -125,8 +131,9 @@ class Stream {
     SSAM_REQUIRE(cfg.block_threads > 0 && cfg.block_threads % kWarpSize == 0,
                  "block size must be a positive warp multiple");
     return enqueue(
-        [arch_ptr = &arch, cfg, body = std::move(body)]() mutable {
-          detail::run_functional_grid(*arch_ptr, cfg, body);
+        [pool = pool_, arch_ptr = &arch, cfg, body = std::move(body)]() mutable {
+          detail::run_functional_grid_on(pool != nullptr ? *pool : ThreadPool::global(),
+                                         *arch_ptr, cfg, body);
         },
         nullptr);
   }
@@ -148,6 +155,7 @@ class Stream {
   struct Impl;
   Event enqueue(std::function<void()> run, std::shared_ptr<detail::EventState> dep);
   std::shared_ptr<Impl> impl_;
+  ThreadPool* pool_ = nullptr;  ///< the pool this stream's work runs on
 };
 
 }  // namespace ssam::sim

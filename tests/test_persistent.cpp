@@ -31,27 +31,13 @@
 #include "core/stencil3d_temporal.hpp"
 #include "gpusim/arch.hpp"
 #include "gpusim/persistent.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace ssam;
-
-/// Restores the default global pool when a test that resizes it exits.
-struct PoolSizeGuard {
-  ~PoolSizeGuard() { ThreadPool::reset_global(hardware_concurrency()); }
-};
-
-/// FNV-1a over the raw bytes of a buffer (same hash the SIMD parity goldens
-/// use, so persistent-path hashes are comparable across backends).
-std::uint64_t fnv1a(const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
+using ssam::testing::fnv1a;
+using ssam::testing::PoolSizeGuard;
 
 // ------------------------------------------------------------ halo channels
 

@@ -31,6 +31,7 @@
 #include "core/stencil_shape.hpp"
 #include "gpusim/arch.hpp"
 #include "gpusim/simd/simd.hpp"
+#include "test_util.hpp"
 #include "gpusim/vec.hpp"
 
 namespace {
@@ -310,16 +311,7 @@ TEST(SimdParity, UnitStride) {
 
 // -------------------------------------------- cross-backend kernel goldens
 
-/// FNV-1a over the raw bytes of a buffer.
-std::uint64_t fnv1a(const void* data, std::size_t bytes) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
+using ssam::testing::fnv1a;
 
 /// Golden output hashes of the core kernels in functional mode. Identical
 /// for every SIMD backend, compiler, and host — the arithmetic is exactly

@@ -28,15 +28,12 @@
 #include "core/stencil_shape.hpp"
 #include "gpusim/arch.hpp"
 #include "gpusim/stream.hpp"
+#include "test_util.hpp"
 
 namespace {
 
 using namespace ssam;
-
-/// Restores the default global pool when a test that resizes it exits.
-struct PoolSizeGuard {
-  ~PoolSizeGuard() { ThreadPool::reset_global(hardware_concurrency()); }
-};
+using ssam::testing::PoolSizeGuard;
 
 // --------------------------------------------------------------- pool basics
 

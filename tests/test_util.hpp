@@ -1,0 +1,57 @@
+// Shared test helpers: the FNV-1a golden hash, bit-exact parity assertions,
+// and the global-pool restore guard. One definition serves every suite so
+// hashes stay comparable across tests (and across SIMD backends — the
+// cross-backend goldens in test_simd_parity.cpp and the persistent/sharded
+// parity pins hash with the same function).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/thread_pool.hpp"
+
+namespace ssam::testing {
+
+/// FNV-1a over the raw bytes of a buffer. Float outputs are hashed by bit
+/// pattern, so two hashes agree iff the buffers are bit-identical.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Bit-exact parity over `count` trivially copyable elements. On mismatch
+/// the failure message names the first differing element (memcmp alone only
+/// says "different", which is useless for a seeded differential suite).
+template <typename T>
+[[nodiscard]] ::testing::AssertionResult bits_equal(const T* a, const T* b,
+                                                    std::size_t count) {
+  if (std::memcmp(a, b, count * sizeof(T)) == 0) {
+    return ::testing::AssertionSuccess();
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(T)) != 0) {
+      return ::testing::AssertionFailure()
+             << "first bit mismatch at element " << i << ": " << a[i] << " vs " << b[i]
+             << " (" << count << " elements total)";
+    }
+  }
+  return ::testing::AssertionFailure() << "buffers differ (memcmp) but no element does";
+}
+
+/// Restores the default global pool when a test that resizes it exits.
+struct PoolSizeGuard {
+  PoolSizeGuard() = default;
+  PoolSizeGuard(const PoolSizeGuard&) = delete;
+  PoolSizeGuard& operator=(const PoolSizeGuard&) = delete;
+  ~PoolSizeGuard() { ThreadPool::reset_global(hardware_concurrency()); }
+};
+
+}  // namespace ssam::testing

@@ -7,7 +7,10 @@ Checks, over README.md and every docs/*.md:
     directory), and every `#anchor` — standalone or after a path — matches
     a GitHub-style heading slug in the target document;
   * every direct subdirectory of src/ is mentioned in docs/architecture.md
-    (the layer map must not silently fall behind the tree).
+    (the layer map must not silently fall behind the tree);
+  * every layer-defining header (LAYER_HEADERS below) exists and is
+    mentioned by name in docs/architecture.md — adding a subsystem without
+    documenting it fails the gate.
 
 External links (http/https/mailto) are not fetched. Exits nonzero with a
 list of every violation.
@@ -18,6 +21,23 @@ Usage:  check_docs.py [REPO_ROOT]
 import re
 import sys
 from pathlib import Path
+
+# Headers that define an execution subsystem or a public layer boundary.
+# architecture.md must name each one (by filename) so the layer story keeps
+# pace with the code.
+LAYER_HEADERS = [
+    "src/common/thread_pool.hpp",
+    "src/gpusim/vec.hpp",
+    "src/gpusim/warp.hpp",
+    "src/gpusim/launch.hpp",
+    "src/gpusim/stream.hpp",
+    "src/gpusim/persistent.hpp",
+    "src/gpusim/device.hpp",
+    "src/core/iterate.hpp",
+    "src/core/iterate_persistent.hpp",
+    "src/core/shard.hpp",
+    "src/perfmodel/latency_model.hpp",
+]
 
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
@@ -86,6 +106,16 @@ def main():
         name = sub.name
         if not re.search(rf"(src/)?{re.escape(name)}/", arch):
             errors.append(f"docs/architecture.md: src/{name}/ is not mentioned")
+
+    for header in LAYER_HEADERS:
+        if not (root / header).exists():
+            errors.append(f"LAYER_HEADERS: {header} does not exist (stale list?)")
+            continue
+        # Word-bounded: "persistent.hpp" must not be satisfied by a mention
+        # of "iterate_persistent.hpp".
+        name = re.escape(Path(header).name)
+        if not re.search(rf"(?<![\w_]){name}", arch):
+            errors.append(f"docs/architecture.md: {header} is not mentioned")
 
     checked = len(docs)
     if errors:
