@@ -3,23 +3,22 @@
 // check the physics (maximum principle: temperatures stay within initial
 // bounds under a convex stencil).
 //
-// All 400 sweeps run on the persistent iteration engine
-// (core/iterate_persistent.hpp), *sharded* across a virtual two-device
-// group (core/shard.hpp): each device owns a row-band shard on its own
-// pool slice, tiles stay resident on their workers for the whole run, and
-// halos — including the inter-device seam — move through lock-free
-// zero-copy channels. No per-step launch, no global-array round trip
-// between steps, and the result is bit-identical to the single-pool
-// per-step relaunch driver, which the run double-checks here.
+// The 400 sweeps are submitted as one `SimJob` to the simulation service
+// (core/server.hpp): the server schedules the job onto a device of its
+// group, and the job runs on the persistent iteration engine
+// (core/iterate_persistent.hpp) pinned to that device's pool slice — tiles
+// stay resident on their workers for the whole run, halos move through
+// lock-free zero-copy channels, no per-step launch. The result is
+// bit-identical to the single-pool per-step relaunch driver, which the run
+// double-checks here (the service invariant: same bits whichever door a
+// computation enters through).
 #include <cstring>
 #include <iostream>
 
 #include "common/grid.hpp"
 #include "core/iterate.hpp"
-#include "core/iterate_persistent.hpp"
-#include "core/shard.hpp"
+#include "core/server.hpp"
 #include "gpusim/device.hpp"
-#include "gpusim/stream.hpp"
 #include "gpusim/timing.hpp"
 
 int main() {
@@ -45,21 +44,25 @@ int main() {
   }
   Grid2D<float> ref_a = a, ref_b = b;
 
-  core::PersistentOptions opt;
-  opt.shard = core::ShardPolicy::sharded(2);
-  const auto run = core::iterate_stencil2d_persistent<float>(sim::tesla_v100(), a, b,
-                                                             diffusion, steps, opt);
-  std::cout << "persistent run: " << run.tiles << " resident tiles on " << run.devices
-            << " virtual devices, " << run.sweeps << " sweeps\n";
-  sim::DeviceGroup& group = sim::DeviceGroup::shared(2);
-  for (int d = 0; d < run.devices; ++d) {
-    auto& c = group.device(d).counters();
-    std::cout << "  " << group.device(d).name() << ": " << c.sweeps.load()
-              << " band sweeps, " << c.seam_bytes_out.load()
-              << " bytes published across the seam\n";
+  core::SimServer server;
+  std::cout << "service config: " << server.config().describe() << "\n";
+  core::JobHints hints;
+  hints.policy = core::IterationPolicy::kPersistent;
+  core::JobFuture fut =
+      server.submit(core::SimJob::stencil2d(a, b, diffusion, steps, hints));
+  const core::JobResult& jr = fut.wait();
+  std::cout << "persistent run on device " << jr.device << ": " << jr.run.tiles
+            << " resident tiles, " << jr.run.sweeps << " sweeps, queued "
+            << jr.queue_ms << " ms, ran " << jr.exec_ms << " ms\n";
+  server.drain();  // completion accounting runs just after the future resolves
+  {
+    sim::Device& dev = server.group().device(jr.device);
+    auto& c = dev.counters();
+    std::cout << "  " << dev.name() << ": " << c.sweeps.load() << " band sweeps, "
+              << c.jobs_completed.load() << " jobs completed\n";
   }
 
-  // The engine must match the per-step relaunch driver bit for bit.
+  // The service must match the per-step relaunch driver bit for bit.
   core::iterate_stencil2d<float>(sim::tesla_v100(), ref_a, ref_b, diffusion, steps);
   std::cout << (0 == std::memcmp(a.data(), ref_a.data(),
                                  static_cast<std::size_t>(a.size()) * sizeof(float))

@@ -1,13 +1,17 @@
-// Quickstart: convolve an image with SSAM in ~20 lines.
+// Quickstart: convolve an image through the simulation service in ~20 lines.
 //
-//   1. build a grid, 2. pick a filter, 3. call core::conv2d_ssam —
-// functional mode computes the full output on the simulated GPU; timing
-// mode estimates what the kernel would cost on a real P100/V100.
+//   1. build a grid, 2. describe the request as a `SimJob`, 3. submit it to
+// a `SimServer` and wait the future — the service schedules it onto a
+// virtual device and computes the full output on the simulated GPU. The
+// result is bit-identical to calling `core::run_job` (or the underlying
+// kernel) directly. Timing mode stays a direct kernel call: it estimates
+// what the kernel would cost on a real P100/V100.
 #include <iostream>
 
 #include "common/grid.hpp"
 #include "common/rng.hpp"
 #include "core/conv2d.hpp"
+#include "core/server.hpp"
 #include "gpusim/timing.hpp"
 
 int main() {
@@ -19,13 +23,20 @@ int main() {
   std::vector<float> filter(25, -0.04f);
   filter[12] = 2.0f;  // center tap
 
-  // Functional run: every output computed, borders replicate.
+  // Functional run through the service: every output computed, borders
+  // replicate. The server resolves its config (threads, devices) from the
+  // environment — `server.config().describe()` shows what it picked.
   Grid2D<float> output(512, 512);
-  core::conv2d_ssam<float>(sim::tesla_v100(), image.cview(), filter, 5, 5, output.view());
+  core::SimServer server;
+  std::cout << "service config: " << server.config().describe() << "\n";
+  core::JobFuture fut =
+      server.submit(core::SimJob::conv2d(image, output, filter, 5, 5));
+  const core::JobResult& r = fut.wait();
 
   double checksum = 0;
   for (Index i = 0; i < output.size(); ++i) checksum += output.data()[i];
-  std::cout << "SSAM 5x5 convolution done; checksum = " << checksum << "\n";
+  std::cout << "SSAM 5x5 convolution done on device " << r.device << " in "
+            << r.exec_ms << " ms; checksum = " << checksum << "\n";
 
   // Timing run: sampled blocks + scoreboard -> estimated V100 runtime.
   auto stats = core::conv2d_ssam<float>(sim::tesla_v100(), image.cview(), filter, 5, 5,

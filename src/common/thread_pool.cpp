@@ -1,6 +1,6 @@
 #include "common/thread_pool.hpp"
 
-#include <cstdlib>
+#include "core/config.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -30,12 +30,9 @@ void pin_self_to_cpu(int cpu) {
 }  // namespace
 
 int hardware_concurrency() {
-  if (const char* env = std::getenv("SSAM_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  const unsigned hc = std::thread::hardware_concurrency();
-  return hc == 0 ? 1 : static_cast<int>(hc);
+  // SSAM_THREADS is resolved (once) by the config layer; this stays the
+  // single entry point the rest of the library sizes pools from.
+  return core::config().threads;
 }
 
 ThreadPool::ThreadPool(int threads, std::vector<int> pin_cpus) {

@@ -1,0 +1,59 @@
+#include "core/config.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+#include "gpusim/simd/simd.hpp"
+
+namespace ssam::core {
+
+namespace {
+
+/// The environment knob as a positive integer, or `fallback` when unset,
+/// unparsable, or non-positive.
+int env_positive_int(const char* name, int fallback) {
+  if (const char* v = std::getenv(name)) {
+    const int parsed = std::atoi(v);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+bool env_flag(const char* name) {
+  if (const char* v = std::getenv(name)) return std::atoi(v) > 0;
+  return false;
+}
+
+}  // namespace
+
+SimConfig config_from_env() {
+  SimConfig c;
+  const unsigned hw = std::thread::hardware_concurrency();
+  c.threads = env_positive_int("SSAM_THREADS", hw == 0 ? 1 : static_cast<int>(hw));
+  c.devices = env_positive_int("SSAM_DEVICES", 2);
+  c.device_pin = env_flag("SSAM_DEVICE_PIN");
+  c.policy = IterationPolicy::kAuto;
+  c.simd_backend = sim::simd::kBackendName;
+  return c;
+}
+
+const SimConfig& config() {
+  static const SimConfig c = config_from_env();
+  return c;
+}
+
+std::string SimConfig::describe() const {
+  const char* pol = policy == IterationPolicy::kAuto        ? "auto"
+                    : policy == IterationPolicy::kRelaunch  ? "relaunch"
+                                                            : "persistent";
+  std::string s = "threads=" + std::to_string(threads);
+  s += " devices=" + std::to_string(devices);
+  s += device_pin ? " pin=on" : " pin=off";
+  s += " policy=";
+  s += pol;
+  s += " simd=";
+  s += simd_backend;
+  return s;
+}
+
+}  // namespace ssam::core

@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "core/config.hpp"
 #include "core/iterate.hpp"
 #include "core/shard.hpp"
 #include "core/stencil2d_temporal.hpp"
@@ -51,10 +52,9 @@
 
 namespace ssam::core {
 
-/// How an iterative run executes. kRelaunch is the per-step path of
-/// core/iterate.hpp; kPersistent is the resident-tile engine; kAuto picks
-/// persistent for functional runs long enough to amortize tile setup.
-enum class IterationPolicy { kAuto, kRelaunch, kPersistent };
+// IterationPolicy (kAuto / kRelaunch / kPersistent) lives in
+// core/config.hpp so SimConfig can carry the default without pulling in
+// the engine; the name is unchanged (ssam::core::IterationPolicy).
 
 struct PersistentOptions {
   IterationPolicy policy = IterationPolicy::kAuto;
@@ -64,6 +64,12 @@ struct PersistentOptions {
   int p = 4;              ///< sliding-window outputs per thread
   int block_threads = 128;
   int warps3d = 8;        ///< planes per block for the 3D kernels
+  /// Pin the whole (single-shard) run to this virtual device: sweeps fan
+  /// out over the device's pool slice only and its counters record the
+  /// traffic. This is how the SimServer packs independent jobs onto
+  /// different devices; mutually exclusive with a sharded policy (a shard
+  /// split already names its devices). Null: the global pool.
+  sim::Device* device = nullptr;
 };
 
 /// What a run actually did (the policy decision is runtime).
@@ -323,6 +329,9 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
   SSAM_REQUIRE(sweeps >= 0, "negative sweep count");
   SSAM_REQUIRE(a.width() == b.width() && a.height() == b.height(),
                "ping/pong grids must match");
+  SSAM_REQUIRE(opt.device == nullptr || opt.shard.mode == ShardMode::kSingle,
+               "a device-pinned run cannot also be sharded");
+  ThreadPool& lane = opt.device != nullptr ? opt.device->pool() : ThreadPool::global();
   if constexpr (kHasPost) {
     SSAM_REQUIRE(opt.t == 1, "post hook requires t == 1 (halos carry post-processed state)");
   }
@@ -408,12 +417,19 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
       }
       if (sweeps % 2 == 1) std::swap(a, b);
     } else if (sweeps > 0) {
+      // The functional fan-out goes through `lane` directly so a
+      // device-pinned relaunch run (server dispatch) stays on its device's
+      // slice; on the global pool this is exactly what sim::launch does in
+      // functional mode.
       auto run_sweeps = [&](const sim::LaunchConfig& cfg, auto& ping, auto& pong) {
         for (int sw = 0; sw < sweeps; ++sw) {
           if (sw % 2 == 0) {
-            (void)sim::launch(arch, cfg, ping, ExecMode::kFunctional);
+            sim::detail::run_functional_grid_on(lane, arch, cfg, ping);
           } else {
-            (void)sim::launch(arch, cfg, pong, ExecMode::kFunctional);
+            sim::detail::run_functional_grid_on(lane, arch, cfg, pong);
+          }
+          if (opt.device != nullptr) {
+            opt.device->counters().sweeps.fetch_add(1, std::memory_order_relaxed);
           }
           if constexpr (kHasPost) {
             Grid2D<T>& nxt = (sw % 2 == 0) ? b : a;
@@ -455,6 +471,7 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
   req.min_band = min_band;
   req.want_tiles = opt.tiles;
   req.has_aux = aux != nullptr;
+  req.lane_workers = opt.device != nullptr ? opt.device->pool().size() : 0;
   sim::PersistentWorkspace& wsp = ws != nullptr ? *ws : detail::default_workspace();
   const detail::BandLayout L = detail::build_band_layout(req, opt.shard, wsp);
   const int tiles = L.tiles();
@@ -500,6 +517,9 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
       wr.seam_hi = L.seam_after(i);
     }
     wr.counters = L.counters_of(i);
+    if (wr.counters == nullptr && opt.device != nullptr) {
+      wr.counters = &opt.device->counters();
+    }
 
     const GridView2D<const T> in_a(wr.buf_a, w, buf_rows, w);
     const GridView2D<const T> in_b(wr.buf_b, w, buf_rows, w);
@@ -554,7 +574,7 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
   tasks.reserve(tile_objs.size());
   for (auto& t : tile_objs) tasks.push_back(t.get());
   if (!L.sharded()) {
-    sim::run_persistent(tasks);
+    sim::run_persistent_on(lane, tasks);
   } else {
     std::vector<std::span<sim::PersistentTask* const>> groups;
     groups.reserve(L.tile_range.size());
@@ -582,6 +602,9 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
   SSAM_REQUIRE(sweeps >= 0, "negative sweep count");
   SSAM_REQUIRE(a.nx() == b.nx() && a.ny() == b.ny() && a.nz() == b.nz(),
                "ping/pong grids must match");
+  SSAM_REQUIRE(opt.device == nullptr || opt.shard.mode == ShardMode::kSingle,
+               "a device-pinned run cannot also be sharded");
+  ThreadPool& lane = opt.device != nullptr ? opt.device->pool() : ThreadPool::global();
   if constexpr (kHasPost) {
     SSAM_REQUIRE(opt.t == 1, "post hook requires t == 1 (halos carry post-processed state)");
   }
@@ -664,12 +687,16 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
       }
       if (sweeps % 2 == 1) std::swap(a, b);
     } else if (sweeps > 0) {
+      // Device-pinned relaunch runs fan out over `lane` (see the 2D engine).
       auto run_sweeps = [&](const sim::LaunchConfig& cfg, auto& ping, auto& pong) {
         for (int sw = 0; sw < sweeps; ++sw) {
           if (sw % 2 == 0) {
-            (void)sim::launch(arch, cfg, ping, ExecMode::kFunctional);
+            sim::detail::run_functional_grid_on(lane, arch, cfg, ping);
           } else {
-            (void)sim::launch(arch, cfg, pong, ExecMode::kFunctional);
+            sim::detail::run_functional_grid_on(lane, arch, cfg, pong);
+          }
+          if (opt.device != nullptr) {
+            opt.device->counters().sweeps.fetch_add(1, std::memory_order_relaxed);
           }
           if constexpr (kHasPost) {
             Grid3D<T>& nxt = (sw % 2 == 0) ? b : a;
@@ -709,6 +736,7 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
   req.min_band = std::max<Index>(hz, 1);
   req.want_tiles = opt.tiles;
   req.has_aux = aux != nullptr;
+  req.lane_workers = opt.device != nullptr ? opt.device->pool().size() : 0;
   sim::PersistentWorkspace& wsp = ws != nullptr ? *ws : detail::default_workspace();
   const detail::BandLayout L = detail::build_band_layout(req, opt.shard, wsp);
   const int tiles = L.tiles();
@@ -754,6 +782,9 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
       wr.seam_hi = L.seam_after(i);
     }
     wr.counters = L.counters_of(i);
+    if (wr.counters == nullptr && opt.device != nullptr) {
+      wr.counters = &opt.device->counters();
+    }
 
     const GridView3D<const T> in_a(wr.buf_a, nx, ny, buf_planes);
     const GridView3D<const T> in_b(wr.buf_b, nx, ny, buf_planes);
@@ -806,7 +837,7 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
   tasks.reserve(tile_objs.size());
   for (auto& t : tile_objs) tasks.push_back(t.get());
   if (!L.sharded()) {
-    sim::run_persistent(tasks);
+    sim::run_persistent_on(lane, tasks);
   } else {
     std::vector<std::span<sim::PersistentTask* const>> groups;
     groups.reserve(L.tile_range.size());
@@ -818,36 +849,31 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
   return r;
 }
 
-/// Sharded variant of the per-step relaunch driver (core/iterate.hpp): the
-/// same double-buffered step schedule, with each sweep's band launches
+/// Sharded variant of the per-step relaunch drivers (core/iterate.hpp):
+/// the same double-buffered step schedule, with each sweep's band launches
 /// distributed across the shard policy's virtual devices (seam-clipped
-/// stores, one group barrier per sweep). Bit-identical to
-/// `iterate_stencil2d` at every shard count; the final state ends in `a`.
-template <typename T>
-PersistentRunStats iterate_stencil2d_sharded(const sim::ArchSpec& arch, Grid2D<T>& a,
-                                             Grid2D<T>& b, const StencilShape<T>& shape,
-                                             int steps, const ShardPolicy& shard,
-                                             const StencilOptions& opt = {}) {
+/// stores, one group barrier per sweep). One entry for both dimensions —
+/// the grid type picks the engine (Grid3D exposes nz()) and the kernel
+/// option struct contributes whichever knobs it has (StencilOptions:
+/// block_threads; Stencil3DOptions: warps). Bit-identical to the
+/// unsharded per-step drivers at every shard count; the final state ends
+/// in `a`.
+template <typename T, typename GridT, typename KernelOpt = StencilOptions>
+PersistentRunStats iterate_stencil_sharded(const sim::ArchSpec& arch, GridT& a, GridT& b,
+                                           const StencilShape<T>& shape, int steps,
+                                           const ShardPolicy& shard,
+                                           const KernelOpt& opt = {}) {
   PersistentOptions popt;
   popt.policy = IterationPolicy::kRelaunch;
   popt.shard = shard;
   popt.p = opt.p;
-  popt.block_threads = opt.block_threads;
-  return iterate_stencil2d_persistent<T>(arch, a, b, shape, steps, popt);
-}
-
-/// 3D counterpart of iterate_stencil2d_sharded.
-template <typename T>
-PersistentRunStats iterate_stencil3d_sharded(const sim::ArchSpec& arch, Grid3D<T>& a,
-                                             Grid3D<T>& b, const StencilShape<T>& shape,
-                                             int steps, const ShardPolicy& shard,
-                                             const Stencil3DOptions& opt = {}) {
-  PersistentOptions popt;
-  popt.policy = IterationPolicy::kRelaunch;
-  popt.shard = shard;
-  popt.p = opt.p;
-  popt.warps3d = opt.warps;
-  return iterate_stencil3d_persistent<T>(arch, a, b, shape, steps, popt);
+  if constexpr (requires { opt.block_threads; }) popt.block_threads = opt.block_threads;
+  if constexpr (requires { opt.warps; }) popt.warps3d = opt.warps;
+  if constexpr (requires(GridT& g) { g.nz(); }) {
+    return iterate_stencil3d_persistent<T>(arch, a, b, shape, steps, popt);
+  } else {
+    return iterate_stencil2d_persistent<T>(arch, a, b, shape, steps, popt);
+  }
 }
 
 }  // namespace ssam::core

@@ -1,0 +1,257 @@
+// The unified job request API: one typed description of a simulation
+// request, one dispatch path for everyone who runs it.
+//
+// The kernel layers grew nine `*_async` entry points plus two option
+// structs (`PersistentOptions`, `ShardPolicy`) — fine for one caller
+// driving one large workload, unusable as the request surface of a
+// multi-tenant service. `SimJob` collapses a request into one value:
+// kernel kind, grids, stencil shape or filter, step count, policy hints,
+// and the tenant/priority fields the scheduler needs. `run_job` is the
+// single dispatch path under both worlds: the free functions and examples
+// call it directly on the global pool, the `SimServer` (core/server.hpp)
+// calls it device-pinned with a leased workspace — so a job's output is
+// bit-identical whichever door it entered through (the repo-wide
+// determinism invariant extends to the service).
+//
+// Lifetime: a SimJob references caller-owned grids. They must stay alive
+// and untouched until the job's `JobFuture` reports completion.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/grid.hpp"
+#include "core/config.hpp"
+#include "core/conv2d.hpp"
+#include "core/iterate_persistent.hpp"
+#include "core/stencil_shape.hpp"
+#include "gpusim/device.hpp"
+
+namespace ssam::core {
+
+enum class JobKind { kStencil2D, kStencil3D, kConv2D };
+
+/// Per-job policy knobs (the subset of PersistentOptions a service client
+/// may reasonably hint; sharding is the server's business, not the job's).
+struct JobHints {
+  IterationPolicy policy = IterationPolicy::kAuto;
+  int tiles = 0;  ///< 0: auto
+  int t = 1;      ///< fused time steps per sweep
+  int p = 4;
+  int block_threads = 128;
+  int warps3d = 8;
+};
+
+/// One simulation request. Build with the factories; the service API is
+/// fixed to float (the paper's precision), the underlying kernels stay
+/// templated for direct callers.
+struct SimJob {
+  JobKind kind = JobKind::kStencil2D;
+
+  // Stencil jobs: ping/pong grids, the final state ends in *a.
+  Grid2D<float>* a2 = nullptr;
+  Grid2D<float>* b2 = nullptr;
+  Grid3D<float>* a3 = nullptr;
+  Grid3D<float>* b3 = nullptr;
+  StencilShape<float> shape;
+  int steps = 1;  ///< sweeps (each advances hints.t fused time steps)
+
+  // Convolution jobs: a2 = input, b2 = output, row-major M x N filter.
+  std::vector<float> filter;
+  int filter_m = 0;
+  int filter_n = 0;
+
+  JobHints hints;
+  int tenant = 0;    ///< fair-queuing bucket (weight via SimServer)
+  int priority = 0;  ///< >= 0; higher drains earlier within the tenant's share
+
+  [[nodiscard]] static SimJob stencil2d(Grid2D<float>& a, Grid2D<float>& b,
+                                        StencilShape<float> shape, int steps,
+                                        JobHints hints = {}) {
+    SimJob j;
+    j.kind = JobKind::kStencil2D;
+    j.a2 = &a;
+    j.b2 = &b;
+    j.shape = std::move(shape);
+    j.steps = steps;
+    j.hints = hints;
+    return j;
+  }
+
+  [[nodiscard]] static SimJob stencil3d(Grid3D<float>& a, Grid3D<float>& b,
+                                        StencilShape<float> shape, int steps,
+                                        JobHints hints = {}) {
+    SimJob j;
+    j.kind = JobKind::kStencil3D;
+    j.a3 = &a;
+    j.b3 = &b;
+    j.shape = std::move(shape);
+    j.steps = steps;
+    j.hints = hints;
+    return j;
+  }
+
+  [[nodiscard]] static SimJob conv2d(Grid2D<float>& in, Grid2D<float>& out,
+                                     std::vector<float> filter, int filter_m,
+                                     int filter_n, JobHints hints = {}) {
+    SimJob j;
+    j.kind = JobKind::kConv2D;
+    j.a2 = &in;
+    j.b2 = &out;
+    j.filter = std::move(filter);
+    j.filter_m = filter_m;
+    j.filter_n = filter_n;
+    j.steps = 1;
+    j.hints = hints;
+    return j;
+  }
+
+  /// Grid cells touched per sweep — the scheduler's work estimate.
+  [[nodiscard]] Index cells() const {
+    switch (kind) {
+      case JobKind::kStencil2D:
+      case JobKind::kConv2D:
+        return a2 != nullptr ? a2->size() : 0;
+      case JobKind::kStencil3D:
+        return a3 != nullptr ? a3->size() : 0;
+    }
+    return 0;
+  }
+
+  /// Total work estimate (cells x sweeps), the fair-queuing cost unit.
+  [[nodiscard]] double cost() const {
+    const Index c = cells();
+    const int s = steps < 1 ? 1 : steps;
+    return static_cast<double>(c) * static_cast<double>(s);
+  }
+};
+
+enum class JobStatus {
+  kPending,    ///< not finished yet (never visible through a fulfilled future)
+  kRejected,   ///< admission control refused it (queue full / server stopped)
+  kFailed,     ///< validation or execution error; see `error`
+  kCompleted,  ///< ran; outputs are in the job's grids
+};
+
+struct JobResult {
+  JobStatus status = JobStatus::kPending;
+  PersistentRunStats run;   ///< what the engine actually did
+  int device = -1;          ///< device index the job ran on (-1: none)
+  std::uint64_t seq = 0;    ///< global completion sequence number
+  double queue_ms = 0.0;    ///< submit -> dispatch
+  double exec_ms = 0.0;     ///< dispatch -> done
+  std::string error;        ///< kFailed: what went wrong
+};
+
+namespace detail {
+
+/// Shared completion state behind a JobFuture (Event-style, but carrying a
+/// typed result).
+struct JobState {
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  JobResult result;
+
+  void fulfill(JobResult r) {
+    {
+      std::lock_guard<std::mutex> lock(m);
+      result = std::move(r);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace detail
+
+/// Handle to an accepted (or rejected) job. Cheap to copy; `wait` blocks
+/// until the server fulfils it.
+class JobFuture {
+ public:
+  JobFuture() = default;
+  explicit JobFuture(std::shared_ptr<detail::JobState> s) : state_(std::move(s)) {}
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  [[nodiscard]] bool ready() const {
+    if (state_ == nullptr) return false;
+    std::lock_guard<std::mutex> lock(state_->m);
+    return state_->done;
+  }
+
+  /// Blocks until the job finishes and returns its result. The returned
+  /// reference stays valid as long as any copy of this future exists.
+  const JobResult& wait() const {
+    SSAM_REQUIRE(state_ != nullptr, "waiting on an empty JobFuture");
+    std::unique_lock<std::mutex> lock(state_->m);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return state_->result;
+  }
+
+ private:
+  std::shared_ptr<detail::JobState> state_;
+};
+
+/// THE dispatch path: runs `job` synchronously on `device`'s pool slice
+/// (null: the global pool), using `ws` for tile residence (null: the
+/// calling thread's default workspace). The SimServer calls this from its
+/// per-device streams with a leased warm workspace; direct callers and the
+/// examples call it bare — both produce bit-identical outputs. Throws
+/// PreconditionError on an invalid job (the server catches and reports
+/// kFailed instead of dying).
+inline PersistentRunStats run_job(const sim::ArchSpec& arch, const SimJob& job,
+                                  sim::Device* device = nullptr,
+                                  sim::PersistentWorkspace* ws = nullptr) {
+  PersistentOptions popt;
+  popt.policy = job.hints.policy;
+  popt.tiles = job.hints.tiles;
+  popt.t = job.hints.t;
+  popt.p = job.hints.p;
+  popt.block_threads = job.hints.block_threads;
+  popt.warps3d = job.hints.warps3d;
+  popt.device = device;
+  switch (job.kind) {
+    case JobKind::kStencil2D: {
+      SSAM_REQUIRE(job.a2 != nullptr && job.b2 != nullptr, "stencil2d job needs grids");
+      SSAM_REQUIRE(!job.shape.taps.empty(), "stencil2d job needs a stencil shape");
+      return iterate_stencil2d_persistent<float>(arch, *job.a2, *job.b2, job.shape,
+                                                 job.steps, popt, detail::NoPost{},
+                                                 nullptr, ws);
+    }
+    case JobKind::kStencil3D: {
+      SSAM_REQUIRE(job.a3 != nullptr && job.b3 != nullptr, "stencil3d job needs grids");
+      SSAM_REQUIRE(!job.shape.taps.empty(), "stencil3d job needs a stencil shape");
+      return iterate_stencil3d_persistent<float>(arch, *job.a3, *job.b3, job.shape,
+                                                 job.steps, popt, detail::NoPost{},
+                                                 nullptr, ws);
+    }
+    case JobKind::kConv2D: {
+      SSAM_REQUIRE(job.a2 != nullptr && job.b2 != nullptr, "conv2d job needs grids");
+      const ConvOptions copt{job.hints.p, job.hints.block_threads};
+      const detail::Conv2dSetup s = detail::conv2d_setup<float>(
+          job.a2->cview(), job.filter.size(), job.filter_m, job.filter_n, copt);
+      auto body =
+          detail::make_conv2d_body<float>(s, job.a2->cview(), job.filter.data(),
+                                          job.b2->view());
+      ThreadPool& lane = device != nullptr ? device->pool() : ThreadPool::global();
+      sim::detail::run_functional_grid_on(lane, arch, s.cfg, body);
+      if (device != nullptr) {
+        device->counters().sweeps.fetch_add(1, std::memory_order_relaxed);
+      }
+      PersistentRunStats r;
+      r.sweeps = 1;
+      return r;
+    }
+  }
+  SSAM_REQUIRE(false, "unknown job kind");
+  return {};
+}
+
+}  // namespace ssam::core

@@ -1,0 +1,245 @@
+#include "core/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <utility>
+
+#include "gpusim/arch.hpp"
+
+namespace ssam::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+}  // namespace
+
+/// One admitted, not-yet-dispatched job with its fair-queuing tag.
+struct SimServer::Pending {
+  SimJob job;
+  std::shared_ptr<detail::JobState> state;
+  double finish_tag = 0.0;
+  Clock::time_point submitted_at;
+};
+
+struct SimServer::Tenant {
+  double weight = 1.0;
+  double last_finish = 0.0;  ///< finish tag of the tenant's latest submit
+  std::deque<Pending> q;     ///< FIFO within the tenant
+};
+
+SimServer::SimServer(ServerOptions opt)
+    : opt_(opt),
+      // Qualified: plain `config()` here would name the SimServer::config
+      // accessor of this not-yet-constructed object.
+      config_(::ssam::core::config()),
+      arch_(opt.arch != nullptr ? opt.arch : &sim::tesla_v100()),
+      completion_seq_(std::make_shared<std::atomic<std::uint64_t>>(0)) {
+  SSAM_REQUIRE(opt_.streams_per_device >= 1, "a device needs at least one stream");
+  SSAM_REQUIRE(opt_.max_in_flight_per_device >= 1, "device job slots must be positive");
+  int n = opt_.devices > 0 ? opt_.devices : config_.devices;
+  if (opt.group != nullptr) {
+    group_ = opt.group;
+    n = std::min(opt_.devices > 0 ? n : group_->size(), group_->size());
+  } else {
+    group_ = &sim::DeviceGroup::shared(n);
+  }
+  opt_.devices = n;
+  in_flight_.assign(static_cast<std::size_t>(n), 0);
+  next_big_stream_.assign(static_cast<std::size_t>(n), 0);
+  paused_ = opt_.start_paused;
+}
+
+SimServer::~SimServer() { drain(); }
+
+JobFuture SimServer::submit(SimJob job) {
+  auto state = std::make_shared<detail::JobState>();
+  JobFuture fut(state);
+  bool reject = false;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    ++submitted_;
+    if (queued_ >= opt_.max_pending) {
+      ++rejected_;
+      reject = true;
+    } else {
+      Tenant& t = tenants_[job.tenant];
+      // Start-time fair queuing: the job's virtual finish time advances
+      // the tenant's clock by cost over effective weight; priority buys a
+      // larger share of the tenant's own weight.
+      const double w = t.weight * (1.0 + static_cast<double>(std::max(0, job.priority)));
+      const double start = std::max(vtime_, t.last_finish);
+      Pending p;
+      p.finish_tag = start + job.cost() / std::max(w, 1e-9);
+      t.last_finish = p.finish_tag;
+      p.job = std::move(job);
+      p.state = state;
+      p.submitted_at = Clock::now();
+      t.q.push_back(std::move(p));
+      ++queued_;
+    }
+  }
+  if (reject) {
+    JobResult r;
+    r.status = JobStatus::kRejected;
+    r.error = "admission control: pending queue full";
+    state->fulfill(std::move(r));
+    return fut;
+  }
+  pump();
+  return fut;
+}
+
+void SimServer::resume() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    paused_ = false;
+  }
+  pump();
+}
+
+void SimServer::set_tenant_weight(int tenant, double weight) {
+  SSAM_REQUIRE(weight > 0.0, "tenant weight must be positive");
+  std::lock_guard<std::mutex> lock(m_);
+  tenants_[tenant].weight = weight;
+}
+
+SimServer::Stats SimServer::stats() const {
+  std::lock_guard<std::mutex> lock(m_);
+  Stats s;
+  s.submitted = submitted_;
+  s.completed = completed_;
+  s.rejected = rejected_;
+  s.failed = failed_;
+  s.devices = opt_.devices;
+  return s;
+}
+
+void SimServer::drain() {
+  resume();
+  std::unique_lock<std::mutex> lock(m_);
+  idle_cv_.wait(lock, [&] {
+    if (queued_ != 0) return false;
+    for (int f : in_flight_) {
+      if (f != 0) return false;
+    }
+    return true;
+  });
+}
+
+void SimServer::pump() {
+  struct Launch {
+    Pending p;
+    int device = 0;
+    int stream = 0;
+  };
+  std::vector<Launch> batch;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (paused_) return;
+    for (;;) {
+      // Least-loaded device with a free job slot.
+      int dev = -1;
+      int best = std::numeric_limits<int>::max();
+      for (int i = 0; i < opt_.devices; ++i) {
+        const int f = in_flight_[static_cast<std::size_t>(i)];
+        if (f < opt_.max_in_flight_per_device && f < best) {
+          best = f;
+          dev = i;
+        }
+      }
+      if (dev < 0) break;
+      // Queued job with the smallest finish tag (tenant FIFOs keep each
+      // tenant's own order).
+      Tenant* pick = nullptr;
+      for (auto& [id, t] : tenants_) {
+        if (t.q.empty()) continue;
+        if (pick == nullptr || t.q.front().finish_tag < pick->q.front().finish_tag) {
+          pick = &t;
+        }
+      }
+      if (pick == nullptr) break;
+      Launch l;
+      l.p = std::move(pick->q.front());
+      pick->q.pop_front();
+      --queued_;
+      vtime_ = std::max(vtime_, l.p.finish_tag);
+      ++in_flight_[static_cast<std::size_t>(dev)];
+      l.device = dev;
+      // Small jobs share the batch lane (stream 0); large jobs round-robin
+      // the remaining streams so they overlap instead of queuing.
+      if (opt_.streams_per_device > 1 && l.p.job.cells() >= opt_.small_job_cells) {
+        int& cursor = next_big_stream_[static_cast<std::size_t>(dev)];
+        l.stream = 1 + cursor % (opt_.streams_per_device - 1);
+        ++cursor;
+      }
+      batch.push_back(std::move(l));
+    }
+  }
+  // Enqueue outside the scheduler lock: stream enqueues take stream locks,
+  // and an already-complete event runs its continuation (which relocks m_)
+  // inline right here.
+  for (Launch& l : batch) {
+    sim::Device& dev = group_->device(l.device);
+    dev.job_started();
+    auto job = std::make_shared<SimJob>(std::move(l.p.job));
+    auto state = l.p.state;
+    const sim::ArchSpec* arch = arch_;
+    auto seq = completion_seq_;
+    sim::Device* devp = &dev;
+    const int dev_index = l.device;
+    const auto submitted_at = l.p.submitted_at;
+    const auto dispatched_at = Clock::now();
+    sim::Event ev =
+        dev.stream(static_cast<std::size_t>(l.stream))
+            .host([job, state, arch, seq, devp, dev_index, submitted_at,
+                   dispatched_at] {
+              JobResult r;
+              r.device = dev_index;
+              r.queue_ms = ms_between(submitted_at, dispatched_at);
+              const auto t0 = Clock::now();
+              try {
+                sim::WorkspaceLease lease = devp->lease_workspace();
+                r.run = run_job(*arch, *job, devp, lease.get());
+                r.status = JobStatus::kCompleted;
+              } catch (const std::exception& e) {
+                r.status = JobStatus::kFailed;
+                r.error = e.what();
+              }
+              r.exec_ms = ms_between(t0, Clock::now());
+              r.seq = seq->fetch_add(1, std::memory_order_relaxed) + 1;
+              state->fulfill(std::move(r));
+            });
+    // Completion is callback-driven: free the device slot, then pump so the
+    // next queued job takes it. Runs on the stream's drain worker (or
+    // inline above when the op already finished).
+    ev.on_ready([this, state, dev_index] {
+      bool job_failed = false;
+      {
+        std::lock_guard<std::mutex> slock(state->m);
+        job_failed = state->result.status == JobStatus::kFailed;
+      }
+      group_->device(dev_index).job_finished();
+      {
+        std::lock_guard<std::mutex> lock(m_);
+        --in_flight_[static_cast<std::size_t>(dev_index)];
+        ++completed_;
+        if (job_failed) ++failed_;
+      }
+      pump();
+      std::lock_guard<std::mutex> lock(m_);
+      if (queued_ == 0 && std::all_of(in_flight_.begin(), in_flight_.end(),
+                                      [](int f) { return f == 0; })) {
+        idle_cv_.notify_all();
+      }
+    });
+  }
+}
+
+}  // namespace ssam::core

@@ -1,0 +1,143 @@
+// Multi-tenant simulation service: a batched job scheduler over the
+// virtual DeviceGroup.
+//
+// The engine layers below optimize ONE large resident workload; the
+// ROADMAP's "millions of users" north star means thousands of *small
+// independent* jobs in flight. `SimServer` is that front door: clients
+// submit `SimJob`s (core/job.hpp) from any thread and get a `JobFuture`;
+// the server schedules accepted jobs onto the devices of a DeviceGroup
+// (gpusim/device.hpp).
+//
+// Scheduling, three layers:
+//
+//  * Admission control — at most `max_pending` queued jobs; beyond that a
+//    submit is rejected immediately (the future reports kRejected) instead
+//    of growing an unbounded backlog.
+//  * Per-tenant weighted fair queuing (start-time fair queuing): each
+//    tenant has a FIFO and a weight; a job's finish tag is
+//    max(vtime, tenant_last) + cost / (weight * (1 + priority)), cost
+//    being cells x sweeps. The dispatcher always starts the queued job
+//    with the smallest tag, so a heavy tenant cannot starve a light one
+//    beyond its weight share.
+//  * Device packing — a dispatched job goes to the least-loaded device
+//    with a free slot (`max_in_flight_per_device`); small grids
+//    (< `small_job_cells`) go to the device's stream 0, the shared batch
+//    lane, where consecutive small ops run back-to-back on one worker
+//    without fork/join (PR 2's small-grid batching, now cross-job); large
+//    jobs round-robin the remaining streams.
+//
+// Execution reuses the whole existing stack: each dispatch is one host op
+// on a device stream, running `run_job` device-pinned with a workspace
+// leased from the device's warm arena pool (no per-job arena carving
+// after the first wave). Completion is callback-driven via
+// `Event::on_ready` — no blocked waiter threads — and fulfils the job's
+// future, frees the device slot, and pumps the queue again. Outputs are
+// bit-identical to calling `run_job` directly (the determinism invariant
+// the server tests pin with golden hashes).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/job.hpp"
+#include "gpusim/device.hpp"
+
+namespace ssam::core {
+
+struct ServerOptions {
+  /// Simulated architecture jobs run on. Null: sim::tesla_v100().
+  const sim::ArchSpec* arch = nullptr;
+  /// Device count. 0: the resolved SimConfig's `devices`.
+  int devices = 0;
+  /// Explicit group (bench/test hook). Null: DeviceGroup::shared(devices).
+  sim::DeviceGroup* group = nullptr;
+  /// Streams per device: stream 0 is the shared small-job batch lane, the
+  /// rest take large jobs round-robin. At 1 everything shares stream 0.
+  int streams_per_device = 2;
+  /// Job slots per device; dispatch stalls (jobs stay queued) when every
+  /// device is full.
+  int max_in_flight_per_device = 2;
+  /// Admission control: queued-job cap beyond which submits are rejected.
+  std::size_t max_pending = 1024;
+  /// Jobs under this many cells ride the batch lane.
+  Index small_job_cells = Index{1} << 14;
+  /// Accept submissions but dispatch nothing until resume() — lets tests
+  /// build a backlog and observe pure scheduling order.
+  bool start_paused = false;
+};
+
+/// The multi-tenant simulation service. Thread-safe; destruction drains.
+class SimServer {
+ public:
+  explicit SimServer(ServerOptions opt = {});
+  ~SimServer();
+
+  SimServer(const SimServer&) = delete;
+  SimServer& operator=(const SimServer&) = delete;
+
+  /// Submits a job from any thread. Always returns a valid future: on
+  /// admission it completes when the job does; on rejection it is already
+  /// fulfilled with kRejected. The job's grids must stay alive (and
+  /// unread) until the future reports.
+  JobFuture submit(SimJob job);
+
+  /// Starts dispatching (no-op unless start_paused or paused earlier).
+  void resume();
+
+  /// Blocks until every accepted job has completed (resumes first, so a
+  /// paused backlog cannot deadlock the caller).
+  void drain();
+
+  /// Sets a tenant's fair-queuing weight (default 1.0; must be > 0).
+  void set_tenant_weight(int tenant, double weight);
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t failed = 0;  ///< completed with kFailed (subset of completed)
+    int devices = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// The resolved process config the server was built against.
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] const sim::ArchSpec& arch() const { return *arch_; }
+  [[nodiscard]] sim::DeviceGroup& group() { return *group_; }
+
+ private:
+  struct Pending;
+  struct Tenant;
+
+  void pump();  // dispatch until stalled (lock taken inside)
+
+  ServerOptions opt_;
+  SimConfig config_;
+  const sim::ArchSpec* arch_;
+  sim::DeviceGroup* group_;
+
+  mutable std::mutex m_;
+  std::condition_variable idle_cv_;
+  bool paused_ = false;
+  double vtime_ = 0.0;                    // fair-queuing virtual time
+  std::map<int, Tenant> tenants_;
+  std::size_t queued_ = 0;                // jobs admitted, not yet dispatched
+  std::vector<int> in_flight_;            // dispatched jobs per device
+  std::vector<int> next_big_stream_;      // round-robin cursor per device
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t failed_ = 0;
+  std::shared_ptr<std::atomic<std::uint64_t>> completion_seq_;
+};
+
+}  // namespace ssam::core

@@ -128,6 +128,9 @@ struct BandLayoutRequest {
   Index min_band = 1;         ///< smallest band that can source a halo
   int want_tiles = 0;         ///< total tile target; 0 = auto per shard
   bool has_aux = false;       ///< carve an aux residence buffer per tile
+  /// Single mode: workers of the pool the run executes on, when it is not
+  /// the global pool (a device-pinned server job). 0 = global pool size.
+  int lane_workers = 0;
 };
 
 /// The assembled layout: tile starts, per-tile residence buffers carved
@@ -181,8 +184,9 @@ struct BandLayout {
     const Index u0 = sp.starts[static_cast<std::size_t>(s)];
     const Index su = sp.starts[static_cast<std::size_t>(s) + 1] - u0;
     const int workers =
-        L.devices.empty() ? ThreadPool::global().size()
-                          : L.devices[static_cast<std::size_t>(s)]->pool().size();
+        L.devices.empty()
+            ? (req.lane_workers > 0 ? req.lane_workers : ThreadPool::global().size())
+            : L.devices[static_cast<std::size_t>(s)]->pool().size();
     const int want = req.want_tiles > 0
                          ? std::max(1, (req.want_tiles + shards - 1) / shards)
                          : auto_tiles_for(workers, su, unit_bytes);

@@ -1,10 +1,10 @@
 #include "gpusim/device.hpp"
 
 #include <condition_variable>
-#include <cstdlib>
 #include <thread>
 
 #include "common/error.hpp"
+#include "core/config.hpp"
 
 namespace ssam::sim {
 
@@ -26,6 +26,32 @@ Stream& Device::stream(std::size_t i) {
 std::size_t Device::stream_count() const {
   std::lock_guard<std::mutex> lock(streams_m_);
   return streams_.size();
+}
+
+WorkspaceLease Device::lease_workspace() {
+  {
+    std::lock_guard<std::mutex> lock(spares_m_);
+    if (!spare_workspaces_.empty()) {
+      auto ws = std::move(spare_workspaces_.back());
+      spare_workspaces_.pop_back();
+      return WorkspaceLease(this, std::move(ws));
+    }
+  }
+  workspaces_created_.fetch_add(1, std::memory_order_relaxed);
+  return WorkspaceLease(this, std::make_unique<PersistentWorkspace>());
+}
+
+void Device::return_workspace(std::unique_ptr<PersistentWorkspace> ws) {
+  std::lock_guard<std::mutex> lock(spares_m_);
+  spare_workspaces_.push_back(std::move(ws));
+}
+
+void WorkspaceLease::release() {
+  if (device_ != nullptr && ws_ != nullptr) {
+    device_->return_workspace(std::move(ws_));
+  }
+  device_ = nullptr;
+  ws_.reset();
 }
 
 // -------------------------------------------------------------- DeviceGroup
@@ -50,10 +76,7 @@ std::vector<DeviceOptions> DeviceGroup::even_slices(int n) {
   SSAM_REQUIRE(n >= 1, "device count must be positive");
   const int host = hardware_concurrency();
   const int per = host / n < 1 ? 1 : host / n;
-  bool pin = false;
-  if (const char* env = std::getenv("SSAM_DEVICE_PIN")) {
-    pin = std::atoi(env) > 0;
-  }
+  const bool pin = core::config().device_pin;
   const unsigned cores = std::thread::hardware_concurrency();
   std::vector<DeviceOptions> opts(static_cast<std::size_t>(n));
   for (int d = 0; d < n; ++d) {
@@ -91,13 +114,7 @@ DeviceGroup& DeviceGroup::shared(int n) {
   return *slot;
 }
 
-int default_device_count() {
-  if (const char* env = std::getenv("SSAM_DEVICES")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return 2;
-}
+int default_device_count() { return core::config().devices; }
 
 // ------------------------------------------------------- group-wide drivers
 

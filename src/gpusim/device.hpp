@@ -51,13 +51,59 @@ struct DeviceCounters {
   std::atomic<std::uint64_t> halo_bytes_out{0};   ///< boundary bytes published
   std::atomic<std::uint64_t> seam_bytes_out{0};   ///< subset crossing a device seam
   std::atomic<std::uint64_t> seam_epochs_out{0};  ///< seam boundary publications
+  std::atomic<std::uint64_t> jobs_completed{0};   ///< server jobs retired here
 
   void reset() {
     sweeps.store(0, std::memory_order_relaxed);
     halo_bytes_out.store(0, std::memory_order_relaxed);
     seam_bytes_out.store(0, std::memory_order_relaxed);
     seam_epochs_out.store(0, std::memory_order_relaxed);
+    jobs_completed.store(0, std::memory_order_relaxed);
   }
+};
+
+class Device;
+
+/// RAII lease of a per-device workspace arena (cudaMallocAsync-pool-like).
+/// Jobs scheduled onto a device borrow a whole PersistentWorkspace for
+/// their run and return it on destruction; the device keeps returned
+/// workspaces warm, so a steady job stream stops allocating arenas after
+/// the first wave. Move-only; a default-constructed lease is empty.
+class WorkspaceLease {
+ public:
+  WorkspaceLease() = default;
+  ~WorkspaceLease() { release(); }
+
+  WorkspaceLease(WorkspaceLease&& other) noexcept
+      : device_(other.device_), ws_(std::move(other.ws_)) {
+    other.device_ = nullptr;
+  }
+  WorkspaceLease& operator=(WorkspaceLease&& other) noexcept {
+    if (this != &other) {
+      release();
+      device_ = other.device_;
+      ws_ = std::move(other.ws_);
+      other.device_ = nullptr;
+    }
+    return *this;
+  }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  [[nodiscard]] PersistentWorkspace* get() const { return ws_.get(); }
+  [[nodiscard]] PersistentWorkspace& operator*() const { return *ws_; }
+  [[nodiscard]] explicit operator bool() const { return ws_ != nullptr; }
+
+  /// Returns the workspace to the owning device's warm pool early.
+  void release();
+
+ private:
+  friend class Device;
+  WorkspaceLease(Device* device, std::unique_ptr<PersistentWorkspace> ws)
+      : device_(device), ws_(std::move(ws)) {}
+
+  Device* device_ = nullptr;
+  std::unique_ptr<PersistentWorkspace> ws_;
 };
 
 /// One virtual device: a pool slice + workspace + stream set + counters.
@@ -80,7 +126,35 @@ class Device {
   [[nodiscard]] Stream& stream(std::size_t i = 0);
   [[nodiscard]] std::size_t stream_count() const;
 
+  /// Borrows a workspace arena from the device's warm pool, creating one
+  /// only when the pool is empty. Unlike `workspace()` (the device's single
+  /// shard-residence arena), leased workspaces let several jobs share one
+  /// device without clobbering each other's carves.
+  [[nodiscard]] WorkspaceLease lease_workspace();
+
+  /// Arenas created over the device's lifetime — a steady job stream should
+  /// plateau this (leases come back warm instead of allocating).
+  [[nodiscard]] std::uint64_t workspaces_created() const {
+    return workspaces_created_.load(std::memory_order_relaxed);
+  }
+
+  // Job accounting, maintained by the scheduler (core/server.hpp): a
+  // device is a packing target while `active_jobs()` is under its cap and
+  // `idle()` devices are preferred for new work.
+  void job_started() { active_jobs_.fetch_add(1, std::memory_order_relaxed); }
+  void job_finished() {
+    active_jobs_.fetch_sub(1, std::memory_order_relaxed);
+    counters_.jobs_completed.fetch_add(1, std::memory_order_relaxed);
+  }
+  [[nodiscard]] int active_jobs() const {
+    return active_jobs_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool idle() const { return active_jobs() == 0; }
+
  private:
+  friend class WorkspaceLease;
+  void return_workspace(std::unique_ptr<PersistentWorkspace> ws);
+
   int index_;
   std::string name_;
   std::unique_ptr<ThreadPool> pool_;
@@ -88,6 +162,10 @@ class Device {
   DeviceCounters counters_;
   mutable std::mutex streams_m_;
   std::vector<std::unique_ptr<Stream>> streams_;
+  std::atomic<int> active_jobs_{0};
+  std::atomic<std::uint64_t> workspaces_created_{0};
+  std::mutex spares_m_;
+  std::vector<std::unique_ptr<PersistentWorkspace>> spare_workspaces_;
 };
 
 /// N devices plus the peer-channel pool between them.

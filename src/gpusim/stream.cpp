@@ -1,5 +1,8 @@
 #include "gpusim/stream.hpp"
 
+#include <atomic>
+#include <thread>
+
 namespace ssam::sim {
 
 namespace detail {
@@ -92,6 +95,11 @@ struct Stream::Impl : std::enable_shared_from_this<Stream::Impl> {
   std::deque<Op> q;
   bool active = false;  ///< a drain is scheduled, running, or parked on a dep
   std::condition_variable idle_cv;
+  /// The thread currently inside drain(), or a default id. Lets
+  /// synchronize() detect re-entry from this stream's own drain — an op
+  /// body or an event continuation destroying its own Stream — and return
+  /// instead of waiting on itself forever.
+  std::atomic<std::thread::id> drainer{};
 
   void schedule() {
     auto self = shared_from_this();
@@ -102,11 +110,13 @@ struct Stream::Impl : std::enable_shared_from_this<Stream::Impl> {
   /// dependency is unsignalled — in which case a continuation on that event
   /// reschedules the drain and this worker is released.
   void drain() {
+    drainer.store(std::this_thread::get_id(), std::memory_order_relaxed);
     for (;;) {
       Op op;
       {
         std::unique_lock<std::mutex> lock(m);
         if (q.empty()) {
+          drainer.store(std::thread::id{}, std::memory_order_relaxed);
           active = false;
           idle_cv.notify_all();
           return;
@@ -118,6 +128,7 @@ struct Stream::Impl : std::enable_shared_from_this<Stream::Impl> {
           auto dep = std::move(head.dep);
           head.dep = nullptr;
           lock.unlock();
+          drainer.store(std::thread::id{}, std::memory_order_relaxed);
           auto self = shared_from_this();
           dep->on_ready([self] { self->schedule(); });
           return;
@@ -126,6 +137,8 @@ struct Stream::Impl : std::enable_shared_from_this<Stream::Impl> {
         q.pop_front();
       }
       if (op.run) op.run();
+      // signal() runs `on_ready` continuations inline on this thread; one
+      // of them may destroy the owning Stream (see Stream::synchronize).
       op.done->signal();
       LaunchQueue::global().note_completed();
     }
@@ -166,6 +179,13 @@ void Stream::wait(const Event& ev) {
 Event Stream::record() { return enqueue({}, nullptr); }
 
 void Stream::synchronize() {
+  // Re-entry from this stream's own drain (op body or event continuation
+  // destroying the Stream) would wait on work only this thread can finish.
+  // Return instead: the drain loop keeps the impl alive and completes the
+  // remaining queued ops after the handle is gone.
+  if (impl_->drainer.load(std::memory_order_relaxed) == std::this_thread::get_id()) {
+    return;
+  }
   std::unique_lock<std::mutex> lock(impl_->m);
   impl_->idle_cv.wait(lock, [&] { return impl_->q.empty() && !impl_->active; });
 }

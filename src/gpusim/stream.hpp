@@ -70,6 +70,21 @@ class Event {
     if (state_ != nullptr) state_->wait();
   }
 
+  /// Runs `fn` once the event has signalled — immediately on the calling
+  /// thread if it already has, otherwise on the thread that signals the
+  /// event (the pool worker draining the recording stream). This is how
+  /// job futures complete without a blocked waiter (core/server.hpp).
+  /// `fn` must not block; it may destroy the recording Stream — the
+  /// stream's destructor detects destruction from its own drain and the
+  /// remaining queued ops still run to completion.
+  void on_ready(std::function<void()> fn) const {
+    if (state_ == nullptr) {
+      fn();
+      return;
+    }
+    state_->on_ready(std::move(fn));
+  }
+
  private:
   friend class Stream;
   explicit Event(std::shared_ptr<detail::EventState> s) : state_(std::move(s)) {}
@@ -148,7 +163,11 @@ class Stream {
   /// Returns an event that signals when all currently enqueued ops finish.
   Event record();
 
-  /// Blocks the calling thread until the stream is empty and idle.
+  /// Blocks the calling thread until the stream is empty and idle. Called
+  /// from inside this stream's own drain (an op body, or an `Event`
+  /// continuation run by the drain) it returns immediately instead of
+  /// self-deadlocking: the shared impl outlives the handle, so ops already
+  /// queued still run even if the Stream object is destroyed there.
   void synchronize();
 
  private:

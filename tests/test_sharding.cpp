@@ -225,8 +225,8 @@ TEST(ShardPolicyInteraction, ShardedIterateDriversMatchPlainDrivers) {
   fill_random(a2, 101);
   Grid2D<float> ra2 = a2, rb2 = b2;
   core::iterate_stencil2d<float>(sim::tesla_v100(), ra2, rb2, s2, 7);
-  const auto st2 = core::iterate_stencil2d_sharded<float>(sim::tesla_v100(), a2, b2, s2,
-                                                          7, core::ShardPolicy::sharded(2));
+  const auto st2 = core::iterate_stencil_sharded<float>(sim::tesla_v100(), a2, b2, s2, 7,
+                                                        core::ShardPolicy::sharded(2));
   EXPECT_TRUE(st2.sharded);
   EXPECT_FALSE(st2.persistent);
   ASSERT_TRUE(bits_equal(ra2.data(), a2.data(), static_cast<std::size_t>(a2.size())));
@@ -236,8 +236,9 @@ TEST(ShardPolicyInteraction, ShardedIterateDriversMatchPlainDrivers) {
   fill_random(a3, 103);
   Grid3D<float> ra3 = a3, rb3 = b3;
   core::iterate_stencil3d<float>(sim::tesla_v100(), ra3, rb3, s3, 5);
-  const auto st3 = core::iterate_stencil3d_sharded<float>(sim::tesla_v100(), a3, b3, s3,
-                                                          5, core::ShardPolicy::sharded(3));
+  const auto st3 = core::iterate_stencil_sharded<float>(
+      sim::tesla_v100(), a3, b3, s3, 5, core::ShardPolicy::sharded(3),
+      core::Stencil3DOptions{});
   EXPECT_TRUE(st3.sharded);
   ASSERT_TRUE(bits_equal(ra3.data(), a3.data(), static_cast<std::size_t>(a3.size())));
 }

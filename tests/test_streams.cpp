@@ -13,8 +13,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstring>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/grid.hpp"
@@ -302,6 +305,63 @@ TEST(LaunchQueueTest, TracksTrafficAndQuiesces) {
   EXPECT_GE(sim::LaunchQueue::global().ops_enqueued(), before + 10);
   EXPECT_EQ(sim::LaunchQueue::global().ops_enqueued(),
             sim::LaunchQueue::global().ops_completed());
+}
+
+// ------------------------------------------- stream destruction under churn
+
+TEST(StreamChurnTest, DestroyStreamFromOwnCompletionCallback) {
+  // Server-style completion: a continuation on an op's event releases the
+  // last handle to the stream. When the op finished just before on_ready
+  // is attached the continuation runs here; otherwise it runs inside the
+  // stream's own drain — ~Stream must not wait on work only that thread
+  // can finish, and the ops queued behind the destroyed handle must still
+  // run.
+  PoolSizeGuard guard;
+  for (int workers : {1, 4}) {
+    ThreadPool::reset_global(workers);
+    for (int round = 0; round < 16; ++round) {
+      std::atomic<int> ran{0};
+      auto stream = std::make_unique<sim::Stream>();
+      const sim::Event first = stream->host([&ran] { ran.fetch_add(1); });
+      (void)stream->host([&ran] { ran.fetch_add(1); });
+      (void)stream->host([&ran] { ran.fetch_add(1); });
+      first.on_ready([&stream] { stream.reset(); });
+      sim::LaunchQueue::global().quiesce();
+      EXPECT_EQ(ran.load(), 3) << "workers=" << workers << " round=" << round;
+      EXPECT_EQ(stream, nullptr);
+    }
+  }
+}
+
+TEST(StreamChurnTest, DestroyStreamWhileParkedOnCrossStreamEvent) {
+  // A consumer stream whose drain is parked on an unsignalled cross-stream
+  // event is destroyed; the destructor must block until the producer
+  // releases the gate and the parked op runs — never deadlock, never drop
+  // the op.
+  PoolSizeGuard guard;
+  for (int workers : {1, 4}) {
+    ThreadPool::reset_global(workers);
+    for (int round = 0; round < 8; ++round) {
+      sim::Stream producer;
+      auto consumer = std::make_unique<sim::Stream>();
+      std::atomic<bool> release{false};
+      std::atomic<int> ran{0};
+      (void)producer.host([&release] {
+        while (!release.load(std::memory_order_acquire)) std::this_thread::yield();
+      });
+      const sim::Event gate = producer.record();
+      consumer->wait(gate);
+      (void)consumer->host([&ran] { ran.fetch_add(1); });
+      std::thread releaser([&release] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        release.store(true, std::memory_order_release);
+      });
+      consumer.reset();  // destroys while the drain is (likely) parked
+      releaser.join();
+      producer.synchronize();
+      EXPECT_EQ(ran.load(), 1) << "workers=" << workers << " round=" << round;
+    }
+  }
 }
 
 TEST(StreamTest, ManyTinyLaunchesBatchCorrectly) {

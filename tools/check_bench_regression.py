@@ -71,6 +71,14 @@ def main():
         "--metric", default="blocks_per_sec", help="kernel field to compare"
     )
     parser.add_argument(
+        "--direction",
+        choices=("higher", "lower"),
+        default="higher",
+        help="whether a higher or a lower metric is better (default higher); "
+        "with 'lower' a regression is the metric *growing* past the limit, "
+        "e.g. --metric p99_ms --direction lower for latency gates",
+    )
+    parser.add_argument(
         "--backend-mismatch-factor",
         type=float,
         default=2.0,
@@ -113,6 +121,11 @@ def main():
                 print(f"  {name:28s} MISSING from fresh run — FAIL")
                 missing.append(name)
             continue
+        if args.metric not in base[name] or args.metric not in fresh[name]:
+            # Rows in a mixed file don't all carry every metric (e.g. only
+            # the open-loop server row has p99_ms) — not a failure.
+            print(f"  {name:28s} no {args.metric} — skipped")
+            continue
         b = float(base[name][args.metric])
         f = float(fresh[name][args.metric])
         if b <= 0:
@@ -123,13 +136,15 @@ def main():
         # cannot end up effectively ungated under a backend mismatch.
         limit = min(0.80, thresholds.get(name, args.max_regression) * limit_scale)
         change = f / b - 1.0
+        regressed = change > limit if args.direction == "lower" else change < -limit
         verdict = "ok"
-        if change < -limit:
+        if regressed:
             verdict = "REGRESSION"
             failures.append((name, b, f, change, limit))
+        limit_sign = "+" if args.direction == "lower" else "-"
         print(
             f"  {name:28s} {args.metric}: {b:12.1f} -> {f:12.1f}  "
-            f"({change:+7.1%}, limit -{limit:.0%})  {verdict}"
+            f"({change:+7.1%}, limit {limit_sign}{limit:.0%})  {verdict}"
         )
 
     ok = True
@@ -143,7 +158,7 @@ def main():
         ok = False
         print(f"\nFAIL: {len(failures)} kernel(s) regressed in {args.metric}:")
         for name, b, f, change, limit in failures:
-            print(f"  {name}: {b:.1f} -> {f:.1f} ({change:+.1%}, limit -{limit:.0%})")
+            print(f"  {name}: {b:.1f} -> {f:.1f} ({change:+.1%}, limit {limit:.0%})")
     if not ok:
         return 1
     print(f"\nOK: all baseline kernels present, none past their regression limit")

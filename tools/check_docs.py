@@ -36,6 +36,9 @@ LAYER_HEADERS = [
     "src/core/iterate.hpp",
     "src/core/iterate_persistent.hpp",
     "src/core/shard.hpp",
+    "src/core/config.hpp",
+    "src/core/job.hpp",
+    "src/core/server.hpp",
     "src/perfmodel/latency_model.hpp",
 ]
 
