@@ -69,7 +69,11 @@ struct SimJob {
 
   JobHints hints;
   int tenant = 0;    ///< fair-queuing bucket (weight via SimServer)
-  int priority = 0;  ///< >= 0; higher drains earlier within the tenant's share
+  /// >= 0; boosts the tenant's effective weight for THIS job (its fair-
+  /// queuing tag increment shrinks by 1/(1+priority), buying the tenant
+  /// more share against other tenants). It does not reorder jobs within
+  /// one tenant: each tenant's own queue drains strictly FIFO.
+  int priority = 0;
 
   [[nodiscard]] static SimJob stencil2d(Grid2D<float>& a, Grid2D<float>& b,
                                         StencilShape<float> shape, int steps,

@@ -24,7 +24,8 @@ double ms_between(Clock::time_point a, Clock::time_point b) {
 struct SimServer::Pending {
   SimJob job;
   std::shared_ptr<detail::JobState> state;
-  double finish_tag = 0.0;
+  double start_tag = 0.0;   ///< SFQ start tag; vtime advances here on dispatch
+  double finish_tag = 0.0;  ///< start + cost/effective-weight; dispatch order key
   Clock::time_point submitted_at;
 };
 
@@ -76,6 +77,7 @@ JobFuture SimServer::submit(SimJob job) {
       const double w = t.weight * (1.0 + static_cast<double>(std::max(0, job.priority)));
       const double start = std::max(vtime_, t.last_finish);
       Pending p;
+      p.start_tag = start;
       p.finish_tag = start + job.cost() / std::max(w, 1e-9);
       t.last_finish = p.finish_tag;
       p.job = std::move(job);
@@ -97,11 +99,9 @@ JobFuture SimServer::submit(SimJob job) {
 }
 
 void SimServer::resume() {
-  {
-    std::lock_guard<std::mutex> lock(m_);
-    paused_ = false;
-  }
-  pump();
+  std::unique_lock<std::mutex> lock(m_);
+  paused_ = false;
+  pump_locked(lock);
 }
 
 void SimServer::set_tenant_weight(int tenant, double weight) {
@@ -124,8 +124,11 @@ SimServer::Stats SimServer::stats() const {
 void SimServer::drain() {
   resume();
   std::unique_lock<std::mutex> lock(m_);
+  // `!pumping_` is part of idle: a thread inside the dispatch loop (or a
+  // completion callback that handed off to it) still holds `this`, so
+  // drain must not return — and let the destructor run — underneath it.
   idle_cv_.wait(lock, [&] {
-    if (queued_ != 0) return false;
+    if (pumping_ || queued_ != 0) return false;
     for (int f : in_flight_) {
       if (f != 0) return false;
     }
@@ -134,15 +137,33 @@ void SimServer::drain() {
 }
 
 void SimServer::pump() {
+  std::unique_lock<std::mutex> lock(m_);
+  pump_locked(lock);
+}
+
+// One thread owns the dispatch loop at a time (`pumping_`). Re-entrant and
+// concurrent callers — a completion callback running inline inside the
+// owner's enqueue below, or another thread's submit — return immediately;
+// the owner re-selects on its next lap and observes whatever they changed,
+// so the backlog still drains and pump depth stays bounded (no recursion
+// through chains of instantly-finishing jobs).
+//
+// Shutdown safety: the owner's LAST touch of server state is clearing
+// `pumping_` and notifying drain() under the lock; a completion callback's
+// last touch is its slot decrement + hand-off to pump_locked, also in one
+// critical section. Together with drain() requiring `!pumping_`, no thread
+// can still be behind `this` once drain observes idle — the destructor
+// cannot pull the server out from under a late pump() call.
+void SimServer::pump_locked(std::unique_lock<std::mutex>& lock) {
+  if (paused_ || pumping_) return;
+  pumping_ = true;
   struct Launch {
     Pending p;
     int device = 0;
     int stream = 0;
   };
-  std::vector<Launch> batch;
-  {
-    std::lock_guard<std::mutex> lock(m_);
-    if (paused_) return;
+  for (;;) {
+    std::vector<Launch> batch;
     for (;;) {
       // Least-loaded device with a free job slot.
       int dev = -1;
@@ -169,7 +190,10 @@ void SimServer::pump() {
       l.p = std::move(pick->q.front());
       pick->q.pop_front();
       --queued_;
-      vtime_ = std::max(vtime_, l.p.finish_tag);
+      // SFQ: virtual time advances to the start tag of the job entering
+      // service, not its finish tag — a tenant going active now pays from
+      // here, not for the full job it never competed with.
+      vtime_ = std::max(vtime_, l.p.start_tag);
       ++in_flight_[static_cast<std::size_t>(dev)];
       l.device = dev;
       // Small jobs share the batch lane (stream 0); large jobs round-robin
@@ -181,64 +205,71 @@ void SimServer::pump() {
       }
       batch.push_back(std::move(l));
     }
-  }
-  // Enqueue outside the scheduler lock: stream enqueues take stream locks,
-  // and an already-complete event runs its continuation (which relocks m_)
-  // inline right here.
-  for (Launch& l : batch) {
-    sim::Device& dev = group_->device(l.device);
-    dev.job_started();
-    auto job = std::make_shared<SimJob>(std::move(l.p.job));
-    auto state = l.p.state;
-    const sim::ArchSpec* arch = arch_;
-    auto seq = completion_seq_;
-    sim::Device* devp = &dev;
-    const int dev_index = l.device;
-    const auto submitted_at = l.p.submitted_at;
-    const auto dispatched_at = Clock::now();
-    sim::Event ev =
-        dev.stream(static_cast<std::size_t>(l.stream))
-            .host([job, state, arch, seq, devp, dev_index, submitted_at,
-                   dispatched_at] {
-              JobResult r;
-              r.device = dev_index;
-              r.queue_ms = ms_between(submitted_at, dispatched_at);
-              const auto t0 = Clock::now();
-              try {
-                sim::WorkspaceLease lease = devp->lease_workspace();
-                r.run = run_job(*arch, *job, devp, lease.get());
-                r.status = JobStatus::kCompleted;
-              } catch (const std::exception& e) {
-                r.status = JobStatus::kFailed;
-                r.error = e.what();
-              }
-              r.exec_ms = ms_between(t0, Clock::now());
-              r.seq = seq->fetch_add(1, std::memory_order_relaxed) + 1;
-              state->fulfill(std::move(r));
-            });
-    // Completion is callback-driven: free the device slot, then pump so the
-    // next queued job takes it. Runs on the stream's drain worker (or
-    // inline above when the op already finished).
-    ev.on_ready([this, state, dev_index] {
-      bool job_failed = false;
-      {
-        std::lock_guard<std::mutex> slock(state->m);
-        job_failed = state->result.status == JobStatus::kFailed;
-      }
-      group_->device(dev_index).job_finished();
-      {
-        std::lock_guard<std::mutex> lock(m_);
+    if (batch.empty()) break;
+    // Enqueue outside the scheduler lock: stream enqueues take stream
+    // locks, and an already-complete event runs its continuation (which
+    // relocks m_) inline right here. `pumping_` keeps drain() parked
+    // across this unlocked window.
+    lock.unlock();
+    for (Launch& l : batch) {
+      sim::Device& dev = group_->device(l.device);
+      dev.job_started();
+      auto job = std::make_shared<SimJob>(std::move(l.p.job));
+      auto state = l.p.state;
+      const sim::ArchSpec* arch = arch_;
+      auto seq = completion_seq_;
+      sim::Device* devp = &dev;
+      const int dev_index = l.device;
+      const auto submitted_at = l.p.submitted_at;
+      const auto dispatched_at = Clock::now();
+      sim::Event ev =
+          dev.stream(static_cast<std::size_t>(l.stream))
+              .host([job, state, arch, seq, devp, dev_index, submitted_at,
+                     dispatched_at] {
+                JobResult r;
+                r.device = dev_index;
+                r.queue_ms = ms_between(submitted_at, dispatched_at);
+                const auto t0 = Clock::now();
+                try {
+                  sim::WorkspaceLease lease = devp->lease_workspace();
+                  r.run = run_job(*arch, *job, devp, lease.get());
+                  r.status = JobStatus::kCompleted;
+                } catch (const std::exception& e) {
+                  r.status = JobStatus::kFailed;
+                  r.error = e.what();
+                }
+                r.exec_ms = ms_between(t0, Clock::now());
+                r.seq = seq->fetch_add(1, std::memory_order_relaxed) + 1;
+                state->fulfill(std::move(r));
+              });
+      // Completion is callback-driven: free the device slot, then pump so
+      // the next queued job takes it. Runs on the stream's drain worker
+      // (or inline above when the op already finished). Slot decrement and
+      // pump hand-off share ONE critical section, and nothing after it
+      // touches `this`: until the decrement the in-flight count keeps
+      // drain() waiting, after it pump_locked's ownership protocol does.
+      ev.on_ready([this, state, dev_index] {
+        bool job_failed = false;
+        {
+          std::lock_guard<std::mutex> slock(state->m);
+          job_failed = state->result.status == JobStatus::kFailed;
+        }
+        group_->device(dev_index).job_finished();
+        std::unique_lock<std::mutex> cb_lock(m_);
         --in_flight_[static_cast<std::size_t>(dev_index)];
         ++completed_;
         if (job_failed) ++failed_;
-      }
-      pump();
-      std::lock_guard<std::mutex> lock(m_);
-      if (queued_ == 0 && std::all_of(in_flight_.begin(), in_flight_.end(),
-                                      [](int f) { return f == 0; })) {
-        idle_cv_.notify_all();
-      }
-    });
+        pump_locked(cb_lock);
+      });
+    }
+    lock.lock();
+  }
+  pumping_ = false;
+  if (queued_ == 0 && std::all_of(in_flight_.begin(), in_flight_.end(),
+                                  [](int f) { return f == 0; })) {
+    // Under the lock on purpose: after our unlock the waiter may destroy
+    // the server, so the notify must not happen any later than this.
+    idle_cv_.notify_all();
   }
 }
 

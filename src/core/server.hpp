@@ -17,8 +17,10 @@
 //    tenant has a FIFO and a weight; a job's finish tag is
 //    max(vtime, tenant_last) + cost / (weight * (1 + priority)), cost
 //    being cells x sweeps. The dispatcher always starts the queued job
-//    with the smallest tag, so a heavy tenant cannot starve a light one
-//    beyond its weight share.
+//    with the smallest tag and advances virtual time to that job's
+//    *start* tag (classic SFQ), so a heavy tenant cannot starve a light
+//    one beyond its weight share, and a tenant going active right after
+//    a huge dispatch is not charged for work it never saw.
 //  * Device packing — a dispatched job goes to the least-loaded device
 //    with a free slot (`max_in_flight_per_device`); small grids
 //    (< `small_job_cells`) go to the device's stream 0, the shared batch
@@ -119,6 +121,10 @@ class SimServer {
   struct Tenant;
 
   void pump();  // dispatch until stalled (lock taken inside)
+  // Dispatch loop body; requires `lock` held on m_, returns with it held.
+  // Single-owner: concurrent/re-entrant calls return immediately and the
+  // owning thread re-examines the queue on its next lap.
+  void pump_locked(std::unique_lock<std::mutex>& lock);
 
   ServerOptions opt_;
   SimConfig config_;
@@ -128,6 +134,7 @@ class SimServer {
   mutable std::mutex m_;
   std::condition_variable idle_cv_;
   bool paused_ = false;
+  bool pumping_ = false;  // a thread owns the dispatch loop; drain() waits it out
   double vtime_ = 0.0;                    // fair-queuing virtual time
   std::map<int, Tenant> tenants_;
   std::size_t queued_ = 0;                // jobs admitted, not yet dispatched

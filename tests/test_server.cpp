@@ -304,6 +304,34 @@ TEST(SimServerTest, OneWorkerOneStreamServerCannotDeadlock) {
   }
 }
 
+// ----------------------------------------------------------- shutdown churn
+
+TEST(SimServerTest, DestructionDrainRacesCompletionCallbacks) {
+  // Regression for a shutdown use-after-free: ~SimServer drains, and the
+  // wait used to be satisfiable while the last completion callbacks were
+  // still between their slot decrement and their re-pump — two tiny jobs
+  // finishing near-simultaneously on different devices could destroy the
+  // server under one of them. Churn tiny near-instant jobs through a
+  // short-lived server so the final completions keep racing the
+  // destructor; ASan/TSan turn any re-opened window into a hard failure.
+  for (int iter = 0; iter < 150; ++iter) {
+    std::deque<Grid2D<float>> grids;  // outlive the server below
+    core::StencilShape<float> shape = core::star2d<float>(1);
+    sim::DeviceGroup group(sim::DeviceGroup::even_slices(2));
+    core::ServerOptions so;
+    so.group = &group;
+    core::SimServer server(so);
+    std::vector<core::JobFuture> futures;
+    for (int j = 0; j < 6; ++j) {
+      Grid2D<float>& a = grids.emplace_back(8, 6);
+      fill_random(a, 11000 + iter * 8 + j);
+      Grid2D<float>& b = grids.emplace_back(8, 6);
+      futures.push_back(server.submit(core::SimJob::stencil2d(a, b, shape, 1)));
+    }
+    // No explicit drain: destruction drains, racing the last callbacks.
+  }
+}
+
 // ------------------------------------------------------------ workspace reuse
 
 TEST(SimServerTest, WorkspaceLeasesComeBackWarm) {
@@ -348,7 +376,10 @@ TEST(SimServerTest, InvalidJobFailsItsFutureNotTheServer) {
   Grid2D<float> a(32, 16), b(32, 16);
   fill_random(a, 5);
   core::SimJob bad = core::SimJob::stencil2d(a, b, core::StencilShape<float>{}, 2);
-  const core::JobResult& r = server.submit(bad).wait();
+  // Named futures: wait()'s reference lives only as long as some copy of
+  // the future does — a temporary dies at the end of the full expression.
+  core::JobFuture bad_fut = server.submit(bad);
+  const core::JobResult& r = bad_fut.wait();
   EXPECT_EQ(r.status, core::JobStatus::kFailed);
   EXPECT_FALSE(r.error.empty());
 
@@ -356,8 +387,8 @@ TEST(SimServerTest, InvalidJobFailsItsFutureNotTheServer) {
   Grid2D<float> ga = a, gb = b;
   const core::StencilShape<float> shape = core::star2d<float>(1);
   (void)core::run_job(sim::tesla_v100(), core::SimJob::stencil2d(ga, gb, shape, 2));
-  const core::JobResult& ok =
-      server.submit(core::SimJob::stencil2d(a, b, shape, 2)).wait();
+  core::JobFuture ok_fut = server.submit(core::SimJob::stencil2d(a, b, shape, 2));
+  const core::JobResult& ok = ok_fut.wait();
   EXPECT_EQ(ok.status, core::JobStatus::kCompleted);
   EXPECT_TRUE(ssam::testing::bits_equal(a.data(), ga.data(),
                                         static_cast<std::size_t>(a.size())));
