@@ -1,0 +1,60 @@
+// Cooperative cancellation handle, plumbed from the service API down into
+// the engines' sweep loops.
+//
+// A `CancelToken` is a cheap shared flag: the owner (a `JobFuture` holder,
+// the server's deadline watchdog) calls `cancel(reason)`, and long-running
+// work polls `cancelled()` at its natural yield points — the persistent
+// engine's sweep/epoch boundaries, the relaunch driver's per-sweep loop —
+// and unwinds by throwing `CancelledError` (common/error.hpp). Nothing is
+// pre-empted: a kernel sweep in flight always completes, so resident tiles
+// unwind at a consistent boundary and leased workspaces return to their
+// pool through normal RAII.
+//
+// A default-constructed token is inert: it never reports cancelled and
+// `cancel()` on it is a no-op, so APIs can carry a token unconditionally
+// without the non-cancellable path paying for shared state.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+namespace ssam {
+
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, cancel() is a no-op.
+  CancelToken() = default;
+
+  /// A live (cancellable) token.
+  [[nodiscard]] static CancelToken make() {
+    CancelToken t;
+    t.reason_ = std::make_shared<std::atomic<int>>(0);
+    return t;
+  }
+
+  [[nodiscard]] bool valid() const { return reason_ != nullptr; }
+
+  /// Requests cancellation. The first caller's reason sticks (0 is not a
+  /// valid reason; callers pass an ErrorCode-style discriminant so the
+  /// observer can tell a user cancel from a deadline cancel).
+  void cancel(int reason = 1) const {
+    if (reason_ == nullptr) return;
+    int expected = 0;
+    reason_->compare_exchange_strong(expected, reason == 0 ? 1 : reason,
+                                     std::memory_order_acq_rel);
+  }
+
+  [[nodiscard]] bool cancelled() const {
+    return reason_ != nullptr && reason_->load(std::memory_order_acquire) != 0;
+  }
+
+  /// The first cancel()'s reason, 0 when not cancelled.
+  [[nodiscard]] int reason() const {
+    return reason_ == nullptr ? 0 : reason_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<int>> reason_;
+};
+
+}  // namespace ssam

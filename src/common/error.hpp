@@ -5,6 +5,7 @@
 // examples want a recoverable, diagnosable failure rather than an abort.
 #pragma once
 
+#include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -23,6 +24,72 @@ class ResourceError : public std::runtime_error {
  public:
   explicit ResourceError(const std::string& what) : std::runtime_error(what) {}
 };
+
+/// Exception thrown when cooperatively cancelled work unwinds (see
+/// common/cancel.hpp). Carries the CancelToken reason so the catcher can
+/// distinguish a user cancel from a deadline cancel.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what, int reason = 1)
+      : std::runtime_error(what), reason_(reason) {}
+  [[nodiscard]] int reason() const { return reason_; }
+
+ private:
+  int reason_;
+};
+
+/// How a job (or an attempt of one) went wrong — a small closed taxonomy so
+/// retry logic and tests match on codes, never on message substrings.
+enum class ErrorCode {
+  kNone = 0,          ///< no error
+  kInvalidJob,        ///< precondition violation in the request itself
+  kResource,          ///< simulated hardware resource exhausted
+  kCancelled,         ///< cancelled via JobFuture::cancel / CancelToken
+  kDeadlineExceeded,  ///< the server's watchdog cancelled overdue work
+  kDeadlineUnmeetable,///< admission shed: predicted to miss its deadline
+  kQueueFull,         ///< admission control: pending queue at max_pending
+  kFaultInjected,     ///< a planned fault fired (core/faultinject.hpp)
+  kQuarantined,       ///< work refused because the device is quarantined
+  kInternal,          ///< anything else that escaped as an exception
+};
+
+[[nodiscard]] inline const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kInvalidJob: return "invalid-job";
+    case ErrorCode::kResource: return "resource";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kDeadlineUnmeetable: return "deadline-unmeetable";
+    case ErrorCode::kQueueFull: return "queue-full";
+    case ErrorCode::kFaultInjected: return "fault-injected";
+    case ErrorCode::kQuarantined: return "quarantined";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+/// Structured job error: the code drives control flow (the server retries
+/// exactly the `transient` ones), the message is for humans.
+struct JobError {
+  ErrorCode code = ErrorCode::kNone;
+  bool transient = false;  ///< a retry of the identical work may succeed
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return code == ErrorCode::kNone; }
+  [[nodiscard]] std::string describe() const {
+    std::string s = error_code_name(code);
+    if (!message.empty()) {
+      s += ": ";
+      s += message;
+    }
+    return s;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const JobError& e) {
+  return os << e.describe();
+}
 
 namespace detail {
 [[noreturn]] inline void fail_precondition(const char* expr, const char* file, int line,

@@ -31,4 +31,16 @@ void log(LogLevel level, const std::string& message) {
   std::cerr << "[ssam:" << level_tag(level) << "] " << message << '\n';
 }
 
+void log_warn_limited(LogRateLimiter& limiter, const std::string& message) {
+  if (static_cast<int>(LogLevel::kWarn) < g_level.load()) return;  // free drop
+  if (!limiter.allow()) return;
+  const std::uint64_t dropped = limiter.take_suppressed();
+  if (dropped == 0) {
+    log(LogLevel::kWarn, message);
+  } else {
+    log(LogLevel::kWarn,
+        message + " (" + std::to_string(dropped) + " similar suppressed)");
+  }
+}
+
 }  // namespace ssam

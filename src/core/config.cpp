@@ -34,6 +34,7 @@ SimConfig config_from_env() {
   c.device_pin = env_flag("SSAM_DEVICE_PIN");
   c.policy = IterationPolicy::kAuto;
   c.simd_backend = sim::simd::kBackendName;
+  if (const char* v = std::getenv("SSAM_FAULT_SPEC")) c.fault_spec = v;
   return c;
 }
 
@@ -53,6 +54,8 @@ std::string SimConfig::describe() const {
   s += pol;
   s += " simd=";
   s += simd_backend;
+  s += " faults=";
+  s += fault_spec.empty() ? "off" : fault_spec;
   return s;
 }
 

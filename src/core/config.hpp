@@ -34,9 +34,14 @@ struct SimConfig {
   bool device_pin = false;  ///< pin device workers to cores (SSAM_DEVICE_PIN)
   IterationPolicy policy = IterationPolicy::kAuto;  ///< default iteration policy
   const char* simd_backend = "";  ///< compiled SIMD lane backend (report only)
+  /// Fault-injection plan spec (SSAM_FAULT_SPEC, empty: no injection).
+  /// Parsed and armed by core::FaultInjector::global() at first use — the
+  /// config layer only transports the string (core/faultinject.hpp owns the
+  /// mini-language).
+  std::string fault_spec;
 
   /// One line naming every resolved knob, e.g.
-  /// "threads=4 devices=2 pin=off policy=auto simd=avx2".
+  /// "threads=4 devices=2 pin=off policy=auto simd=avx2 faults=off".
   [[nodiscard]] std::string describe() const;
 };
 

@@ -1,0 +1,161 @@
+// Deterministic, seeded fault injection for the fault-tolerance layer.
+//
+// A simulator has no cosmic rays: every failure mode beyond input
+// validation has to be *planned*. A `FaultPlan` names a seed and, per
+// injection site, a fault rate and a class (transient or permanent); the
+// process-wide `FaultInjector` turns that plan into a reproducible decision
+// stream — decision n at site s is a pure hash of (seed, s, n), so a pinned
+// seed pins the fault schedule regardless of wall clock or address-space
+// layout. Thread interleavings still decide which *job* absorbs which draw
+// (the draw counters are shared atomics), but the rate and the
+// transient/permanent mix are exact, which is what the chaos suite and the
+// CI chaos job pin.
+//
+// Four injection sites, one per layer the service stack crosses:
+//
+//   site              | where it fires                              | emulates
+//   ------------------|---------------------------------------------|----------
+//   kWorkspaceLease   | Device workspace lease in the server's      | allocator /
+//                     | dispatch op, before the engine runs         | OOM failure
+//   kKernelSweep      | sweep boundary of the persistent tile state | ECC error,
+//                     | machine and the relaunch sweep loop         | kernel abort
+//   kHaloSend         | boundary publication between resident tiles | link fault
+//   kDeviceDispatch   | server dispatch of a job onto a device      | device hang
+//                     |                                             | at launch
+//
+// Faults surface as `FaultError` (transient or permanent per the plan) and
+// always fire *between* units of real work — never mid-sweep — so an
+// aborted run is torn at a tile boundary, leased workspaces unwind through
+// RAII, and a retry from a snapshot reproduces the fault-free output bit
+// for bit. The plan comes from `FaultInjector::set_plan` (tests) or the
+// `SSAM_FAULT_SPEC` environment knob through core/config.hpp, e.g.
+//
+//   SSAM_FAULT_SPEC="seed=42,sweep=0.05t,lease=0.02t,dispatch=0.01p"
+//
+// (`<site>=<rate><t|p>`; `t` transient — the default — `p` permanent;
+// optional `device=<i>` restricts faults to work attributed to one device,
+// which is how the quarantine tests make one device reliably sick.)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ssam::core {
+
+enum class FaultSite : int {
+  kWorkspaceLease = 0,
+  kKernelSweep = 1,
+  kHaloSend = 2,
+  kDeviceDispatch = 3,
+};
+
+inline constexpr int kFaultSiteCount = 4;
+
+[[nodiscard]] const char* fault_site_name(FaultSite site);
+
+/// What to inject: per-site rates and classes plus the seed that makes the
+/// decision stream reproducible. A default-constructed plan injects nothing.
+struct FaultPlan {
+  struct Site {
+    double rate = 0.0;      ///< probability per decision point, in [0, 1]
+    bool transient = true;  ///< retrying the identical work may succeed
+  };
+
+  std::uint64_t seed = 0;
+  int device = -1;  ///< -1: all devices; >= 0: only work attributed there
+  std::array<Site, kFaultSiteCount> sites{};
+
+  [[nodiscard]] const Site& site(FaultSite s) const {
+    return sites[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] Site& site(FaultSite s) {
+    return sites[static_cast<std::size_t>(s)];
+  }
+
+  [[nodiscard]] bool any() const {
+    for (const Site& s : sites) {
+      if (s.rate > 0.0) return true;
+    }
+    return false;
+  }
+
+  /// Parses the SSAM_FAULT_SPEC mini-language (see the header comment).
+  /// Site keys: lease, sweep, halo, dispatch. Throws PreconditionError on a
+  /// malformed spec — a silently ignored chaos plan would fake a green run.
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// The spec back out (normalized), for SimConfig::describe.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A planned fault. `transient()` tells the server's retry policy whether
+/// the identical attempt is worth re-running.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(FaultSite site, bool transient, const std::string& what)
+      : std::runtime_error(what), site_(site), transient_(transient) {}
+
+  [[nodiscard]] FaultSite site() const { return site_; }
+  [[nodiscard]] bool transient() const { return transient_; }
+
+ private:
+  FaultSite site_;
+  bool transient_;
+};
+
+/// The process-wide injector. Decisions are lock-free (one relaxed
+/// fetch_add + one hash per decision point) and the disabled path is a
+/// single relaxed load, so the non-faulting hot path pays nothing
+/// measurable. `set_plan` must only be called while no injected work is in
+/// flight (tests and the config bootstrap do; there is no torn-plan
+/// detection by design — the injector is a test harness, not a control
+/// plane).
+class FaultInjector {
+ public:
+  /// The global injector, armed at first use from the resolved SimConfig's
+  /// SSAM_FAULT_SPEC (empty spec: disarmed).
+  [[nodiscard]] static FaultInjector& global();
+
+  void set_plan(const FaultPlan& plan);
+  void disarm() { set_plan(FaultPlan{}); }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// One decision point at `site` for work attributed to `device` (-1:
+  /// global pool / unattributed). Deterministic in the per-site decision
+  /// index; counts every injection.
+  [[nodiscard]] bool should_inject(FaultSite site, int device = -1);
+
+  /// should_inject, throwing FaultError when the decision fires.
+  void maybe_throw(FaultSite site, int device, const char* what) {
+    if (should_inject(site, device)) {
+      throw FaultError(site, plan_.site(site).transient,
+                       std::string("injected fault at ") + fault_site_name(site) +
+                           ": " + what);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t injected(FaultSite site) const {
+    return injected_[static_cast<std::size_t>(site)].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t injected_total() const {
+    std::uint64_t n = 0;
+    for (const auto& c : injected_) n += c.load(std::memory_order_relaxed);
+    return n;
+  }
+
+ private:
+  FaultPlan plan_;
+  std::atomic<bool> enabled_{false};
+  std::array<std::atomic<std::uint64_t>, kFaultSiteCount> draws_{};
+  std::array<std::atomic<std::uint64_t>, kFaultSiteCount> injected_{};
+};
+
+}  // namespace ssam::core

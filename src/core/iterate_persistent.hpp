@@ -34,6 +34,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -41,8 +42,10 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/cancel.hpp"
 #include "common/log.hpp"
 #include "core/config.hpp"
+#include "core/faultinject.hpp"
 #include "core/iterate.hpp"
 #include "core/shard.hpp"
 #include "core/stencil2d_temporal.hpp"
@@ -70,6 +73,11 @@ struct PersistentOptions {
   /// different devices; mutually exclusive with a sharded policy (a shard
   /// split already names its devices). Null: the global pool.
   sim::Device* device = nullptr;
+  /// Cooperative cancellation, observed at every sweep boundary of both
+  /// paths (persistent tiles and relaunch loops). A cancelled run unwinds
+  /// by throwing CancelledError on the calling thread; an inert
+  /// (default-constructed) token costs nothing.
+  CancelToken cancel;
 };
 
 /// What a run actually did (the policy decision is runtime).
@@ -86,6 +94,83 @@ namespace detail {
 
 /// Sentinel for "no post hook".
 struct NoPost {};
+
+/// Shared abort state of one persistent run. An exception escaping a pool
+/// worker's task would terminate the process, so resident tiles never
+/// throw: they *record* a cancellation or injected fault here and park, the
+/// cooperative scheduler polls `stop` and unwinds every participant, and
+/// the engine rethrows on the calling thread once run_persistent_on
+/// returns. The first recorded fault wins; an aborted run is torn at
+/// tile/sweep boundaries only (some tiles may already have drained), so the
+/// global arrays are in an unspecified-but-valid state — the server's retry
+/// path restores inputs from a snapshot before re-running.
+struct RunControl {
+  CancelToken cancel;   ///< observed at every sweep boundary
+  int device = -1;      ///< fault attribution (FaultPlan device filter)
+  bool faults = false;  ///< injector armed at run start
+  std::atomic<bool> stop{false};
+  /// -1: no fault; else (site << 1) | transient — one atomic so the calling
+  /// thread reads site and class consistently without extra ordering.
+  std::atomic<int> fault_{-1};
+
+  /// Tile-side gate, called only when the sweep would actually execute
+  /// (after the readiness checks) so blocked-tile polling never inflates
+  /// the fault draw stream. True: the run is aborting, park the tile.
+  [[nodiscard]] bool sweep_gate(bool publishing) {
+    if (stop.load(std::memory_order_acquire)) return true;
+    if (cancel.cancelled()) {
+      stop.store(true, std::memory_order_release);
+      return true;
+    }
+    if (faults) {
+      FaultInjector& fi = FaultInjector::global();
+      if (fi.should_inject(FaultSite::kKernelSweep, device)) {
+        record_fault(FaultSite::kKernelSweep);
+        return true;
+      }
+      if (publishing && fi.should_inject(FaultSite::kHaloSend, device)) {
+        record_fault(FaultSite::kHaloSend);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void record_fault(FaultSite site) {
+    const bool transient = FaultInjector::global().plan().site(site).transient;
+    int expected = -1;
+    fault_.compare_exchange_strong(
+        expected, (static_cast<int>(site) << 1) | (transient ? 1 : 0),
+        std::memory_order_acq_rel);
+    stop.store(true, std::memory_order_release);
+  }
+
+  /// Engine-side epilogue on the calling thread: rethrows what the run
+  /// recorded (a fault beats a concurrent cancel — it is what actually
+  /// stopped the work).
+  void throw_if_aborted() const {
+    const int f = fault_.load(std::memory_order_acquire);
+    if (f >= 0) {
+      const auto site = static_cast<FaultSite>(f >> 1);
+      throw FaultError(site, (f & 1) != 0,
+                       std::string("injected fault at ") + fault_site_name(site) +
+                           " aborted the persistent run");
+    }
+    if (cancel.cancelled()) {
+      throw CancelledError("persistent run cancelled", cancel.reason());
+    }
+  }
+};
+
+/// Relaunch-path gate, called on the driving thread between sweeps — that
+/// thread owns the loop, so it may throw directly.
+inline void relaunch_sweep_gate(const CancelToken& cancel, int device) {
+  if (cancel.cancelled()) {
+    throw CancelledError("iterative run cancelled", cancel.reason());
+  }
+  FaultInjector& fi = FaultInjector::global();
+  if (fi.enabled()) fi.maybe_throw(FaultSite::kKernelSweep, device, "relaunch sweep");
+}
 
 /// One resident band tile: the dimension-agnostic state machine. A `unit`
 /// is one contiguous row (2D) or plane (3D) of `unit_elems` elements; the
@@ -132,6 +217,9 @@ class ResidentBandTile final : public sim::PersistentTask {
     sim::DeviceCounters* counters = nullptr;
     bool seam_lo = false;
     bool seam_hi = false;
+    /// The run's shared abort state (cancellation + fault injection); the
+    /// engine wires every tile of a run to the same object.
+    RunControl* control = nullptr;
   };
 
   explicit ResidentBandTile(Wiring w) : w_(std::move(w)) {}
@@ -172,6 +260,10 @@ class ResidentBandTile final : public sim::PersistentTask {
           if (w_.out_lo != nullptr && !w_.out_lo->can_publish(s_ + 1)) return false;
           if (w_.out_hi != nullptr && !w_.out_hi->can_publish(s_ + 1)) return false;
         }
+        // Ready to execute: last chance to observe an abort or absorb an
+        // injected fault. Parking here (not throwing — we are on a pool
+        // worker) lets the scheduler unwind at a clean sweep boundary.
+        if (w_.control != nullptr && w_.control->sweep_gate(will_publish)) return false;
         if (!fused_first) replicate_domain_edges();
         const auto& body = fused_first ? w_.sweep_first
                            : fused_last ? w_.sweep_last
@@ -397,6 +489,7 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
         bodies[1][static_cast<std::size_t>(s)] = make(b.cview(), out_a);
       }
       for (int sw = 0; sw < sweeps; ++sw) {
+        detail::relaunch_sweep_gate(opt.cancel, -1);
         const int parity = sw % 2;
         sim::for_each_device(sp.devices, [&](int s) {
           sim::detail::run_functional_grid_on(
@@ -422,7 +515,9 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
       // slice; on the global pool this is exactly what sim::launch does in
       // functional mode.
       auto run_sweeps = [&](const sim::LaunchConfig& cfg, auto& ping, auto& pong) {
+        const int dev = opt.device != nullptr ? opt.device->index() : -1;
         for (int sw = 0; sw < sweeps; ++sw) {
+          detail::relaunch_sweep_gate(opt.cancel, dev);
           if (sw % 2 == 0) {
             sim::detail::run_functional_grid_on(lane, arch, cfg, ping);
           } else {
@@ -484,6 +579,11 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
   const std::vector<Index>& starts = L.starts;
   const std::span<sim::HaloChannel> chans = L.chans;
 
+  detail::RunControl ctl;
+  ctl.cancel = opt.cancel;
+  ctl.device = opt.device != nullptr ? opt.device->index() : -1;
+  ctl.faults = FaultInjector::global().enabled();
+
   std::vector<std::unique_ptr<detail::ResidentBandTile<T>>> tile_objs;
   tile_objs.reserve(static_cast<std::size_t>(tiles));
   for (int i = 0; i < tiles; ++i) {
@@ -520,6 +620,7 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
     if (wr.counters == nullptr && opt.device != nullptr) {
       wr.counters = &opt.device->counters();
     }
+    wr.control = &ctl;
 
     const GridView2D<const T> in_a(wr.buf_a, w, buf_rows, w);
     const GridView2D<const T> in_b(wr.buf_b, w, buf_rows, w);
@@ -574,15 +675,16 @@ PersistentRunStats iterate_stencil2d_persistent(const sim::ArchSpec& arch, Grid2
   tasks.reserve(tile_objs.size());
   for (auto& t : tile_objs) tasks.push_back(t.get());
   if (!L.sharded()) {
-    sim::run_persistent_on(lane, tasks);
+    sim::run_persistent_on(lane, tasks, &ctl.stop);
   } else {
     std::vector<std::span<sim::PersistentTask* const>> groups;
     groups.reserve(L.tile_range.size());
     for (const auto& [tb, te] : L.tile_range) {
       groups.emplace_back(tasks.data() + tb, static_cast<std::size_t>(te - tb));
     }
-    sim::run_persistent_group(L.devices, groups);
+    sim::run_persistent_group(L.devices, groups, &ctl.stop);
   }
+  ctl.throw_if_aborted();
   return r;
 }
 
@@ -666,6 +768,7 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
         bodies[1][static_cast<std::size_t>(s)] = make(b.cview(), a.view());
       }
       for (int sw = 0; sw < sweeps; ++sw) {
+        detail::relaunch_sweep_gate(opt.cancel, -1);
         const int parity = sw % 2;
         sim::for_each_device(sp.devices, [&](int s) {
           sim::detail::run_functional_grid_on(
@@ -689,7 +792,9 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
     } else if (sweeps > 0) {
       // Device-pinned relaunch runs fan out over `lane` (see the 2D engine).
       auto run_sweeps = [&](const sim::LaunchConfig& cfg, auto& ping, auto& pong) {
+        const int dev = opt.device != nullptr ? opt.device->index() : -1;
         for (int sw = 0; sw < sweeps; ++sw) {
+          detail::relaunch_sweep_gate(opt.cancel, dev);
           if (sw % 2 == 0) {
             sim::detail::run_functional_grid_on(lane, arch, cfg, ping);
           } else {
@@ -749,6 +854,11 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
   const std::vector<Index>& starts = L.starts;
   const std::span<sim::HaloChannel> chans = L.chans;
 
+  detail::RunControl ctl;
+  ctl.cancel = opt.cancel;
+  ctl.device = opt.device != nullptr ? opt.device->index() : -1;
+  ctl.faults = FaultInjector::global().enabled();
+
   std::vector<std::unique_ptr<detail::ResidentBandTile<T>>> tile_objs;
   tile_objs.reserve(static_cast<std::size_t>(tiles));
   for (int i = 0; i < tiles; ++i) {
@@ -785,6 +895,7 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
     if (wr.counters == nullptr && opt.device != nullptr) {
       wr.counters = &opt.device->counters();
     }
+    wr.control = &ctl;
 
     const GridView3D<const T> in_a(wr.buf_a, nx, ny, buf_planes);
     const GridView3D<const T> in_b(wr.buf_b, nx, ny, buf_planes);
@@ -837,15 +948,16 @@ PersistentRunStats iterate_stencil3d_persistent(const sim::ArchSpec& arch, Grid3
   tasks.reserve(tile_objs.size());
   for (auto& t : tile_objs) tasks.push_back(t.get());
   if (!L.sharded()) {
-    sim::run_persistent_on(lane, tasks);
+    sim::run_persistent_on(lane, tasks, &ctl.stop);
   } else {
     std::vector<std::span<sim::PersistentTask* const>> groups;
     groups.reserve(L.tile_range.size());
     for (const auto& [tb, te] : L.tile_range) {
       groups.emplace_back(tasks.data() + tb, static_cast<std::size_t>(te - tb));
     }
-    sim::run_persistent_group(L.devices, groups);
+    sim::run_persistent_group(L.devices, groups, &ctl.stop);
   }
+  ctl.throw_if_aborted();
   return r;
 }
 

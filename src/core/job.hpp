@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.hpp"
+#include "common/error.hpp"
 #include "common/grid.hpp"
 #include "core/config.hpp"
 #include "core/conv2d.hpp"
@@ -74,6 +76,17 @@ struct SimJob {
   /// more share against other tenants). It does not reorder jobs within
   /// one tenant: each tenant's own queue drains strictly FIFO.
   int priority = 0;
+  /// > 0: the job must finish within this many milliseconds of submission.
+  /// The server's watchdog cancels overdue work (kCancelled with a
+  /// deadline-exceeded error) and, with ServerOptions::shed_on_deadline,
+  /// admission refuses jobs predicted to miss (kRejected, deadline-
+  /// unmeetable). 0: no deadline.
+  double deadline_ms = 0.0;
+  /// Optional caller-provided cancellation handle. Normally left inert:
+  /// `submit` gives every accepted job a live token reachable through
+  /// JobFuture::cancel(). Set one explicitly to share a token across jobs
+  /// (cancel a whole batch at once) or to cancel direct run_job calls.
+  CancelToken cancel;
 
   [[nodiscard]] static SimJob stencil2d(Grid2D<float>& a, Grid2D<float>& b,
                                         StencilShape<float> shape, int steps,
@@ -138,8 +151,9 @@ struct SimJob {
 
 enum class JobStatus {
   kPending,    ///< not finished yet (never visible through a fulfilled future)
-  kRejected,   ///< admission control refused it (queue full / server stopped)
+  kRejected,   ///< admission control refused it (queue full / shed / stopped)
   kFailed,     ///< validation or execution error; see `error`
+  kCancelled,  ///< cancelled (user cancel or deadline) before completion
   kCompleted,  ///< ran; outputs are in the job's grids
 };
 
@@ -149,8 +163,12 @@ struct JobResult {
   int device = -1;          ///< device index the job ran on (-1: none)
   std::uint64_t seq = 0;    ///< global completion sequence number
   double queue_ms = 0.0;    ///< submit -> dispatch
-  double exec_ms = 0.0;     ///< dispatch -> done
-  std::string error;        ///< kFailed: what went wrong
+  double exec_ms = 0.0;     ///< dispatch -> done (all attempts)
+  JobError error;           ///< non-kCompleted: what went wrong (final attempt)
+  int attempts = 0;         ///< execution attempts (> 1: the server retried)
+  /// Per-attempt errors of the attempts that failed, in order — a job that
+  /// completed after two transient faults carries both here.
+  std::vector<JobError> attempt_errors;
 };
 
 namespace detail {
@@ -162,6 +180,9 @@ struct JobState {
   std::condition_variable cv;
   bool done = false;
   JobResult result;
+  /// The job's live cancellation token (set by SimServer::submit); the
+  /// future's cancel() and the server's deadline watchdog both act on it.
+  CancelToken cancel;
 
   void fulfill(JobResult r) {
     {
@@ -191,12 +212,34 @@ class JobFuture {
   }
 
   /// Blocks until the job finishes and returns its result. The returned
-  /// reference stays valid as long as any copy of this future exists.
-  const JobResult& wait() const {
+  /// reference stays valid as long as any copy of this future exists —
+  /// which is why waiting on a temporary is deleted below: the reference
+  /// would dangle the moment the full expression ends.
+  const JobResult& wait() const& {
     SSAM_REQUIRE(state_ != nullptr, "waiting on an empty JobFuture");
     std::unique_lock<std::mutex> lock(state_->m);
     state_->cv.wait(lock, [&] { return state_->done; });
     return state_->result;
+  }
+  /// `submit(job).wait()` would return a reference into a future destroyed
+  /// at the semicolon. Name the future, then wait on it.
+  const JobResult& wait() const&& = delete;
+
+  /// Blocks up to `timeout_ms`; true when the job reached a terminal
+  /// status in time. The chaos suite's hang detector.
+  [[nodiscard]] bool wait_for(double timeout_ms) const {
+    SSAM_REQUIRE(state_ != nullptr, "waiting on an empty JobFuture");
+    std::unique_lock<std::mutex> lock(state_->m);
+    return state_->cv.wait_for(lock, std::chrono::duration<double, std::milli>(timeout_ms),
+                               [&] { return state_->done; });
+  }
+
+  /// Requests cooperative cancellation: queued work is fulfilled kCancelled
+  /// at the server's next pump, running work unwinds at its next sweep
+  /// boundary. Idempotent; a no-op once the job is terminal (results are
+  /// never retracted).
+  void cancel() const {
+    if (state_ != nullptr) state_->cancel.cancel(static_cast<int>(ErrorCode::kCancelled));
   }
 
  private:
@@ -221,6 +264,7 @@ inline PersistentRunStats run_job(const sim::ArchSpec& arch, const SimJob& job,
   popt.block_threads = job.hints.block_threads;
   popt.warps3d = job.hints.warps3d;
   popt.device = device;
+  popt.cancel = job.cancel;
   switch (job.kind) {
     case JobKind::kStencil2D: {
       SSAM_REQUIRE(job.a2 != nullptr && job.b2 != nullptr, "stencil2d job needs grids");
@@ -238,6 +282,9 @@ inline PersistentRunStats run_job(const sim::ArchSpec& arch, const SimJob& job,
     }
     case JobKind::kConv2D: {
       SSAM_REQUIRE(job.a2 != nullptr && job.b2 != nullptr, "conv2d job needs grids");
+      // One launch = one "sweep": same cancel/fault gate as the iterative
+      // paths, on the calling thread.
+      detail::relaunch_sweep_gate(popt.cancel, device != nullptr ? device->index() : -1);
       const ConvOptions copt{job.hints.p, job.hints.block_threads};
       const detail::Conv2dSetup s = detail::conv2d_setup<float>(
           job.a2->cview(), job.filter.size(), job.filter_m, job.filter_n, copt);

@@ -138,13 +138,14 @@ void for_each_device(std::span<Device* const> devices,
 }
 
 void run_persistent_group(std::span<Device* const> devices,
-                          std::span<const std::span<PersistentTask* const>> groups) {
+                          std::span<const std::span<PersistentTask* const>> groups,
+                          const std::atomic<bool>* stop) {
   SSAM_REQUIRE(devices.size() == groups.size(),
                "one task group per device required");
   for_each_device(devices, [&](int i) {
     const auto g = groups[static_cast<std::size_t>(i)];
     if (g.empty()) return;
-    run_persistent_on(devices[static_cast<std::size_t>(i)]->pool(), g);
+    run_persistent_on(devices[static_cast<std::size_t>(i)]->pool(), g, stop);
   });
 }
 

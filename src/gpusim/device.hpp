@@ -215,8 +215,12 @@ void for_each_device(std::span<Device* const> devices,
 /// when all groups are done. Empty groups are skipped. Deadlock-freedom
 /// composes across devices: every tile is polled by some live participant
 /// and seam-channel depth 2 keeps the globally least-advanced tile
-/// advanceable, so the wavefront drains in any schedule.
+/// advanceable, so the wavefront drains in any schedule. The shared `stop`
+/// flag (see run_persistent_on) aborts every shard's scheduler together —
+/// necessary because a stopped shard's seam channels go silent and its
+/// neighbours would otherwise spin forever.
 void run_persistent_group(std::span<Device* const> devices,
-                          std::span<const std::span<PersistentTask* const>> groups);
+                          std::span<const std::span<PersistentTask* const>> groups,
+                          const std::atomic<bool>* stop = nullptr);
 
 }  // namespace ssam::sim

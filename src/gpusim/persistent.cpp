@@ -45,7 +45,8 @@ void run_persistent(std::span<PersistentTask* const> tasks) {
   run_persistent_on(ThreadPool::global(), tasks);
 }
 
-void run_persistent_on(ThreadPool& pool, std::span<PersistentTask* const> tasks) {
+void run_persistent_on(ThreadPool& pool, std::span<PersistentTask* const> tasks,
+                       const std::atomic<bool>* stop) {
   const std::int64_t n = static_cast<std::int64_t>(tasks.size());
   if (n == 0) return;
   for (PersistentTask* t : tasks) SSAM_REQUIRE(t != nullptr, "null persistent task");
@@ -62,8 +63,22 @@ void run_persistent_on(ThreadPool& pool, std::span<PersistentTask* const> tasks)
       for (std::int64_t i = b; i < e; ++i) owned.push_back(tasks[static_cast<std::size_t>(i)]);
       return true;
     };
+    // Abort path: parallel_run blocks until all n indices are claimed AND
+    // completed, so a participant bailing on `stop` must first exhaust the
+    // cursor (claiming marks the chunks complete on flush) — tiles nobody
+    // ever claimed would otherwise leave the caller waiting forever.
+    auto drain_claims = [&] {
+      std::int64_t b = 0;
+      std::int64_t e = 0;
+      while (claim.next(b, e)) {
+      }
+    };
     if (!claim_one()) return;
     while (true) {
+      if (stop != nullptr && stop->load(std::memory_order_acquire)) {
+        drain_claims();
+        return;
+      }
       bool progress = false;
       bool all_done = true;
       for (PersistentTask* t : owned) {
@@ -79,7 +94,9 @@ void run_persistent_on(ThreadPool& pool, std::span<PersistentTask* const> tasks)
         continue;
       }
       if (!progress && !claim_one()) {
-        // Blocked on tiles owned by other participants: let them run.
+        // Blocked on tiles owned by other participants: let them run — but
+        // under an abort that may never come from them, keep polling `stop`
+        // (a stopped neighbour will never publish the epoch we wait for).
         std::this_thread::yield();
       }
     }

@@ -161,7 +161,15 @@ void run_persistent(std::span<PersistentTask* const> tasks);
 /// yields, so the globally least-advanced tile (across ALL pools) always
 /// advances. Safe to call from inside a task of `pool` (the caller
 /// participates).
-void run_persistent_on(ThreadPool& pool, std::span<PersistentTask* const> tasks);
+///
+/// `stop`, when non-null, is the cooperative abort flag of the
+/// fault-tolerance layer: participants poll it between bursts and unwind
+/// without finishing the remaining tiles once it is set (tiles set it
+/// themselves on cancellation or an injected fault — see
+/// core/iterate_persistent.hpp's RunControl). The grid is torn at tile/sweep
+/// boundaries only; the caller decides what to throw afterwards.
+void run_persistent_on(ThreadPool& pool, std::span<PersistentTask* const> tasks,
+                       const std::atomic<bool>* stop = nullptr);
 
 /// Reusable storage for a persistent run: a grow-only 64-byte-aligned
 /// arena for tile residency buffers plus a pool of halo channels. Repeated

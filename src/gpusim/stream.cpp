@@ -30,6 +30,11 @@ void EventState::wait() {
   cv.wait(lock, [&] { return done; });
 }
 
+bool EventState::wait_for(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(m);
+  return cv.wait_for(lock, timeout, [&] { return done; });
+}
+
 void EventState::on_ready(std::function<void()> k) {
   {
     std::lock_guard<std::mutex> lock(m);

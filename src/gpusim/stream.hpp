@@ -25,6 +25,7 @@
 // copy small launch-local state (weights, plans) into the op for you.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -51,6 +52,7 @@ struct EventState {
   void signal();
   bool ready();
   void wait();
+  bool wait_for(std::chrono::milliseconds timeout);
   /// Runs `k` once the event is signalled — immediately if it already is.
   void on_ready(std::function<void()> k);
 };
@@ -68,6 +70,13 @@ class Event {
   /// Blocks the calling thread until the event signals.
   void wait() const {
     if (state_ != nullptr) state_->wait();
+  }
+
+  /// Blocks up to `timeout`; true when the event signalled in time. The
+  /// bounded wait of the fault-tolerance layer's watchdogs and chaos tests
+  /// — a hung run turns into a reportable timeout instead of a hung waiter.
+  [[nodiscard]] bool wait_for(std::chrono::milliseconds timeout) const {
+    return state_ == nullptr || state_->wait_for(timeout);
   }
 
   /// Runs `fn` once the event has signalled — immediately on the calling

@@ -381,7 +381,9 @@ TEST(SimServerTest, InvalidJobFailsItsFutureNotTheServer) {
   core::JobFuture bad_fut = server.submit(bad);
   const core::JobResult& r = bad_fut.wait();
   EXPECT_EQ(r.status, core::JobStatus::kFailed);
-  EXPECT_FALSE(r.error.empty());
+  EXPECT_FALSE(r.error.ok());
+  EXPECT_EQ(r.error.code, ErrorCode::kInvalidJob);
+  EXPECT_FALSE(r.error.message.empty());
 
   // The server keeps serving after a failed job.
   Grid2D<float> ga = a, gb = b;

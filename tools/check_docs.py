@@ -37,6 +37,7 @@ LAYER_HEADERS = [
     "src/core/iterate_persistent.hpp",
     "src/core/shard.hpp",
     "src/core/config.hpp",
+    "src/core/faultinject.hpp",
     "src/core/job.hpp",
     "src/core/server.hpp",
     "src/perfmodel/latency_model.hpp",
