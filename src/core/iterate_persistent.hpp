@@ -179,6 +179,18 @@ inline void relaunch_sweep_gate(const CancelToken& cancel, int device) {
 template <typename T>
 class ResidentBandTile final : public sim::PersistentTask {
  public:
+  /// One stage of a fused chain run (core/chain.hpp): its own launch
+  /// geometry and body (stages differ in span/halo, so neither is shared),
+  /// plus an optional fully-bound element-wise epilogue over the stage's
+  /// output band. The epilogue runs before the boundary is published so
+  /// consumers always see post-map state — the staged reference maps the
+  /// whole intermediate grid before the next stage reads it.
+  struct ChainSweep {
+    sim::LaunchConfig cfg;
+    std::function<void(sim::FunctionalBlockContext&)> body;
+    std::function<void()> epilogue;
+  };
+
   struct Wiring {
     const sim::ArchSpec* arch = nullptr;
     sim::LaunchConfig cfg;
@@ -220,6 +232,16 @@ class ResidentBandTile final : public sim::PersistentTask {
     /// The run's shared abort state (cancellation + fault injection); the
     /// engine wires every tile of a run to the same object.
     RunControl* control = nullptr;
+    /// Chain mode (non-empty): sweep s runs chain[s] instead of the
+    /// iteration bodies above — stage s's tile output feeds stage s + 1
+    /// through the same epoch-counted channels (epoch s = stage s - 1
+    /// output). Chain runs require src != dst, so the first sweep always
+    /// reads the global input and the last always stores to the global
+    /// output (both ends fused at ANY depth — the sweeps >= 3 restriction
+    /// exists only because iteration aliases src and dst); the staged
+    /// kLoad/kDrain copies and `sweep`/`sweep_first`/`sweep_last` are
+    /// bypassed entirely. `sweeps` must equal chain.size().
+    std::vector<ChainSweep> chain;
   };
 
   explicit ResidentBandTile(Wiring w) : w_(std::move(w)) {}
@@ -229,6 +251,12 @@ class ResidentBandTile final : public sim::PersistentTask {
   [[nodiscard]] bool try_advance() override {
     switch (state_) {
       case State::kLoad: {
+        if (!w_.chain.empty()) {
+          // Chain mode: the first sweep reads the global input (epoch 0
+          // needs no publication) and nothing else is resident yet.
+          state_ = State::kStep;
+          return true;
+        }
         if (!w_.sweep_first) {
           // Staged load: copy the band into residence and publish the
           // initial boundary as epoch 0. (With a fused first sweep the
@@ -244,9 +272,11 @@ class ResidentBandTile final : public sim::PersistentTask {
         return true;
       }
       case State::kStep: {
-        const bool fused_first = s_ == 0 && static_cast<bool>(w_.sweep_first);
+        const bool chain = !w_.chain.empty();
+        const bool fused_first =
+            s_ == 0 && (chain || static_cast<bool>(w_.sweep_first));
         const bool fused_last =
-            s_ == w_.sweeps - 1 && static_cast<bool>(w_.sweep_last);
+            s_ == w_.sweeps - 1 && (chain || static_cast<bool>(w_.sweep_last));
         // All-or-nothing readiness: input epoch present (unless this sweep
         // reads the global array) and output halo slots free, otherwise
         // yield to another tile.
@@ -265,17 +295,25 @@ class ResidentBandTile final : public sim::PersistentTask {
         // worker) lets the scheduler unwind at a clean sweep boundary.
         if (w_.control != nullptr && w_.control->sweep_gate(will_publish)) return false;
         if (!fused_first) replicate_domain_edges();
-        const auto& body = fused_first ? w_.sweep_first
-                           : fused_last ? w_.sweep_last
-                                        : w_.sweep[flip_];
-        sim::run_grid_on_caller(*w_.arch, w_.cfg, body);
+        if (chain) {
+          const ChainSweep& cs = w_.chain[static_cast<std::size_t>(s_)];
+          sim::run_grid_on_caller(*w_.arch, cs.cfg, cs.body);
+        } else {
+          const auto& body = fused_first ? w_.sweep_first
+                             : fused_last ? w_.sweep_last
+                                          : w_.sweep[flip_];
+          sim::run_grid_on_caller(*w_.arch, w_.cfg, body);
+        }
         if (w_.counters != nullptr) {
           w_.counters->sweeps.fetch_add(1, std::memory_order_relaxed);
         }
         // The consumed halos (epoch s_) free up for epoch s_ + 2.
         if (w_.in_lo != nullptr) w_.in_lo->release(s_);
         if (w_.in_hi != nullptr) w_.in_hi->release(s_);
-        if (w_.post) {
+        if (chain) {
+          const ChainSweep& cs = w_.chain[static_cast<std::size_t>(s_)];
+          if (cs.epilogue) cs.epilogue();
+        } else if (w_.post) {
           w_.post(next_buf() + w_.ht * w_.unit_elems, cur_buf() + w_.ht * w_.unit_elems,
                   w_.aux_res);
         }
@@ -286,6 +324,12 @@ class ResidentBandTile final : public sim::PersistentTask {
         return true;
       }
       case State::kDrain: {
+        if (!w_.chain.empty()) {
+          // Chain mode: the fused last sweep already stored to the global
+          // output; nothing is staged.
+          state_ = State::kDone;
+          return true;
+        }
         if (!w_.sweep_last && w_.sweeps > 0) {
           copy_units(w_.dst + w_.u0 * w_.unit_elems, cur_buf() + w_.ht * w_.unit_elems,
                      w_.band);

@@ -29,6 +29,7 @@
 #include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/grid.hpp"
+#include "core/chain.hpp"
 #include "core/config.hpp"
 #include "core/conv2d.hpp"
 #include "core/iterate_persistent.hpp"
@@ -37,7 +38,7 @@
 
 namespace ssam::core {
 
-enum class JobKind { kStencil2D, kStencil3D, kConv2D };
+enum class JobKind { kStencil2D, kStencil3D, kConv2D, kChain };
 
 /// Per-job policy knobs (the subset of PersistentOptions a service client
 /// may reasonably hint; sharding is the server's business, not the job's).
@@ -68,6 +69,11 @@ struct SimJob {
   std::vector<float> filter;
   int filter_m = 0;
   int filter_n = 0;
+
+  // Chain jobs: a2 = input, b2 = output (distinct grids), one stage per
+  // entry; `steps` mirrors the depth and `shape` the first stage's shape
+  // (both feed the scheduler's cost/footprint estimates only).
+  std::vector<ChainStage<float>> stages;
 
   JobHints hints;
   int tenant = 0;    ///< fair-queuing bucket (weight via SimServer)
@@ -129,11 +135,29 @@ struct SimJob {
     return j;
   }
 
+  /// A depth-k stage chain from `in` to `out` (one fused launch under
+  /// kAuto/kPersistent; see core/chain.hpp). The grids must be distinct.
+  [[nodiscard]] static SimJob chain2d(Grid2D<float>& in, Grid2D<float>& out,
+                                      std::vector<ChainStage<float>> stages,
+                                      JobHints hints = {}) {
+    SSAM_REQUIRE(!stages.empty(), "chain2d job needs at least one stage");
+    SimJob j;
+    j.kind = JobKind::kChain;
+    j.a2 = &in;
+    j.b2 = &out;
+    j.steps = static_cast<int>(stages.size());
+    j.shape = stages.front().shape;
+    j.stages = std::move(stages);
+    j.hints = hints;
+    return j;
+  }
+
   /// Grid cells touched per sweep — the scheduler's work estimate.
   [[nodiscard]] Index cells() const {
     switch (kind) {
       case JobKind::kStencil2D:
       case JobKind::kConv2D:
+      case JobKind::kChain:
         return a2 != nullptr ? a2->size() : 0;
       case JobKind::kStencil3D:
         return a3 != nullptr ? a3->size() : 0;
@@ -299,6 +323,11 @@ inline PersistentRunStats run_job(const sim::ArchSpec& arch, const SimJob& job,
       PersistentRunStats r;
       r.sweeps = 1;
       return r;
+    }
+    case JobKind::kChain: {
+      SSAM_REQUIRE(job.a2 != nullptr && job.b2 != nullptr, "chain job needs grids");
+      SSAM_REQUIRE(!job.stages.empty(), "chain job needs stages");
+      return run_chain2d<float>(arch, *job.a2, *job.b2, job.stages, popt, ws);
     }
   }
   SSAM_REQUIRE(false, "unknown job kind");

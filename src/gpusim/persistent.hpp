@@ -188,8 +188,19 @@ class PersistentWorkspace {
   /// `count` channels for the caller to configure (staged or external).
   [[nodiscard]] std::span<HaloChannel> channels(std::size_t count);
 
+  /// Second grow-only 64-byte-aligned block, independent of `arena`. The
+  /// staged chain path (core/chain.hpp) ping-pongs its inter-stage
+  /// intermediates through this block, so a staged reference run and a
+  /// fused run can share one warm workspace without invalidating each
+  /// other's carvings. Same contract as `arena`: one call per run.
+  [[nodiscard]] std::byte* scratch(std::size_t bytes);
+
  private:
+  [[nodiscard]] static std::byte* aligned_block(std::vector<std::byte>& block,
+                                                std::size_t bytes);
+
   std::vector<std::byte> arena_;
+  std::vector<std::byte> scratch_;
   std::vector<HaloChannel> channels_;
 };
 

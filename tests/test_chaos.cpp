@@ -345,6 +345,86 @@ TEST(ChaosCancel, QueuedJobCancelledBeforeDispatch) {
   EXPECT_EQ(st.completed, 2u);
 }
 
+TEST(ChaosCancel, ChainRunHonoursPreCancelledToken) {
+  // The fused chain engine shares the engine-wide sweep gates: a token
+  // cancelled before the run starts must unwind before any stage executes,
+  // on both the fused and the staged path.
+  core::StencilShape<float> s = core::star2d<float>(1);
+  const std::vector<core::ChainStage<float>> stages = {
+      core::ChainStage<float>::stencil(s), core::ChainStage<float>::stencil(s),
+      core::ChainStage<float>::stencil(s)};
+  Grid2D<float> a(96, 80), b(96, 80);
+  fill_random(a, 4);
+  for (const auto policy :
+       {core::IterationPolicy::kPersistent, core::IterationPolicy::kRelaunch}) {
+    core::PersistentOptions opt;
+    opt.policy = policy;
+    opt.cancel = CancelToken::make();
+    opt.cancel.cancel(static_cast<int>(ErrorCode::kCancelled));
+    EXPECT_THROW((void)core::run_chain2d<float>(sim::tesla_v100(), a, b, stages, opt),
+                 CancelledError);
+  }
+}
+
+TEST(ChaosCancel, ChainJobsCancelledMidRunLeaveEveryJobTerminal) {
+  // A backlog of deep fused chains, half cancelled while the server drains:
+  // every future must settle (kCancelled at a mid-chain sweep boundary, or
+  // kCompleted when the cancel lost the race), and completed chains must be
+  // bit-identical to an undisturbed reference.
+  sim::DeviceGroup group(device_opts(2, 1));
+  core::ServerOptions so;
+  so.group = &group;
+  core::SimServer server(so);
+
+  core::StencilShape<float> s = core::star2d<float>(1);
+  std::vector<core::ChainStage<float>> stages;
+  for (int i = 0; i < 8; ++i) stages.push_back(core::ChainStage<float>::stencil(s));
+  core::JobHints hints;
+  hints.policy = core::IterationPolicy::kPersistent;
+
+  Grid2D<float> ref_in(128, 96), golden(128, 96);
+  fill_random(ref_in, 99);
+  (void)core::run_job(sim::tesla_v100(),
+                      core::SimJob::chain2d(ref_in, golden, stages, hints));
+
+  constexpr int kJobs = 8;
+  std::vector<Grid2D<float>> ins, outs;
+  ins.reserve(kJobs);
+  outs.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    ins.emplace_back(128, 96);
+    outs.emplace_back(128, 96);
+    fill_random(ins.back(), 99);
+  }
+  std::vector<core::JobFuture> futs;
+  futs.reserve(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    futs.push_back(server.submit(core::SimJob::chain2d(
+        ins[static_cast<std::size_t>(i)], outs[static_cast<std::size_t>(i)], stages,
+        hints)));
+  }
+  std::thread drainer([&] { server.drain(); });
+  for (int i = 0; i < kJobs; i += 2) futs[static_cast<std::size_t>(i)].cancel();
+  drainer.join();
+  for (int i = 0; i < kJobs; ++i) {
+    ASSERT_TRUE(futs[static_cast<std::size_t>(i)].wait_for(kTerminalBoundMs))
+        << "chain job " << i << " never reached a terminal status (hang)";
+    const core::JobResult& r = futs[static_cast<std::size_t>(i)].wait();
+    if (i % 2 == 0) {
+      EXPECT_TRUE(r.status == core::JobStatus::kCancelled ||
+                  r.status == core::JobStatus::kCompleted);
+    } else {
+      EXPECT_EQ(r.status, core::JobStatus::kCompleted);
+    }
+    if (r.status == core::JobStatus::kCompleted) {
+      EXPECT_TRUE(ssam::testing::bits_equal(
+          outs[static_cast<std::size_t>(i)].data(), golden.data(),
+          static_cast<std::size_t>(golden.size())))
+          << "chain job " << i << " completed with corrupted output";
+    }
+  }
+}
+
 TEST(ChaosCancel, CancelDuringDrainLeavesEveryJobTerminal) {
   sim::DeviceGroup group(device_opts(2, 1));
   core::ServerOptions so;
@@ -471,12 +551,14 @@ TEST(ChaosDeadline, RunningJobCancelledAtSweepBoundary) {
   so.watchdog_period_ms = 2.0;
   core::SimServer server(so);
 
-  // Big enough that a 1-worker device cannot finish inside the deadline:
-  // the watchdog must cancel it mid-run and the engine unwind at a sweep
-  // boundary instead of running to completion.
+  // Big enough that a 1-worker device cannot finish inside the deadline
+  // even on a fast host (~100 ms of work vs a 10 ms deadline): the
+  // watchdog must cancel it mid-run and the engine unwind at a sweep
+  // boundary instead of running to completion. The cancelled run never
+  // executes most of those steps, so the test stays fast.
   Grid2D<float> a(384, 384), b(384, 384);
   fill_random(a, 19);
-  core::SimJob j = core::SimJob::stencil2d(a, b, core::star2d<float>(1), 60);
+  core::SimJob j = core::SimJob::stencil2d(a, b, core::star2d<float>(1), 600);
   j.deadline_ms = 10.0;
   core::JobFuture fut = server.submit(std::move(j));
   ASSERT_TRUE(fut.wait_for(kTerminalBoundMs));

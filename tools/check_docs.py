@@ -35,6 +35,7 @@ LAYER_HEADERS = [
     "src/gpusim/device.hpp",
     "src/core/iterate.hpp",
     "src/core/iterate_persistent.hpp",
+    "src/core/chain.hpp",
     "src/core/shard.hpp",
     "src/core/config.hpp",
     "src/core/faultinject.hpp",
