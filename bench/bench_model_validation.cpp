@@ -7,11 +7,15 @@
 //   * model-vs-simulator: the per-output latency advantage predicted by
 //     Eq. 5 must agree in *sign and trend* with the simulated SSAM vs
 //     shared-memory-convolution runtimes (the crossover logic of Fig. 4).
+#include <cmath>
 #include <iostream>
 
 #include "baselines/conv2d_smem.hpp"
 #include "bench_common.hpp"
+#include "common/rng.hpp"
 #include "core/conv2d.hpp"
+#include "core/stencil2d.hpp"
+#include "core/stencil_shape.hpp"
 #include "perfmodel/latency_model.hpp"
 
 int main() {
@@ -91,6 +95,49 @@ int main() {
     std::cout << v.str();
     checks.check(arch->name + ": simulated advantage > 1 across ArrayFire's range",
                  ssam_always_wins);
+
+    // Units audit: the cost attributed to a sparse shape must track the taps
+    // the kernel executes, not its bounding box. A star-R stencil and the
+    // dense box over the same footprint share a bounding box, so Eq. 4 as
+    // written prices them identically (ratio 1.0) — the 2-3x overcharge
+    // this pass caught leaking into the server's deadline-shed EWMA. The
+    // simulator executes the actual taps but still pays bbox-shaped memory
+    // traffic (the register cache loads every row in the window), so the
+    // true ratio must land INSIDE the [sparse-compute, bbox] bracket: at or
+    // above latency_ssam_taps' compute-only floor, and strictly below the
+    // bbox charge once sparsity matters (R >= 2).
+    ConsoleTable u({"star R", "taps/bbox", "sparse model ratio", "bbox model ratio",
+                    "simulated ratio"});
+    bool bracketed = true;
+    Grid2D<float> sout(1024, 1024);
+    Grid2D<float> sin(1024, 1024);
+    fill_random(sin, 42);
+    for (int r : {1, 2, 4}) {
+      const auto star = core::star2d<float>(r);
+      const auto box = core::box2d<float>(2 * r + 1, 2 * r + 1);
+      const int bbox_m = 2 * r + 1;
+      auto st_star = core::stencil2d_ssam<float>(*arch, sin.cview(), star, sout.view(),
+                                                 {}, sim::ExecMode::kTiming, {32, 4});
+      auto st_box = core::stencil2d_ssam<float>(*arch, sin.cview(), box, sout.view(),
+                                                {}, sim::ExecMode::kTiming, {32, 4});
+      const double ms_star = sim::estimate_runtime(*arch, st_star).total_ms;
+      const double ms_box = sim::estimate_runtime(*arch, st_box).total_ms;
+      const double simulated = ms_star / ms_box;
+      const double sparse_ratio =
+          perf::latency_ssam_taps(4 * r + 1, bbox_m, lat) /
+          perf::latency_ssam_taps(bbox_m * bbox_m, bbox_m, lat);
+      const double bbox_ratio = 1.0;  // Eq. 4 cannot tell the shapes apart
+      u.add_row({std::to_string(r),
+                 std::to_string(4 * r + 1) + "/" + std::to_string(bbox_m * bbox_m),
+                 ConsoleTable::num(sparse_ratio, 3), ConsoleTable::num(bbox_ratio, 3),
+                 ConsoleTable::num(simulated, 3)});
+      bracketed &= simulated >= sparse_ratio - 1e-9;
+      if (r >= 2) bracketed &= simulated < bbox_ratio - 0.05;
+    }
+    std::cout << u.str();
+    checks.check(arch->name + ": star cost sits in the [sparse-compute, bbox] "
+                              "bracket, beating the bbox charge for R >= 2",
+                 bracketed);
   }
 
   checks.print();

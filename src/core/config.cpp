@@ -1,22 +1,34 @@
 #include "core/config.hpp"
 
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <thread>
 
+#include "common/error.hpp"
 #include "gpusim/simd/simd.hpp"
 
 namespace ssam::core {
 
 namespace {
 
-/// The environment knob as a positive integer, or `fallback` when unset,
-/// unparsable, or non-positive.
+/// The environment knob as a strictly parsed positive integer, or `fallback`
+/// when the variable is unset or empty. Malformed values (`SSAM_THREADS=four`,
+/// `SSAM_DEVICES=2x`, zero, negatives) throw PreconditionError — the same
+/// contract the SSAM_FAULT_SPEC grammar follows — instead of the old
+/// std::atoi behaviour of silently collapsing garbage to the fallback.
 int env_positive_int(const char* name, int fallback) {
-  if (const char* v = std::getenv(name)) {
-    const int parsed = std::atoi(v);
-    if (parsed > 0) return parsed;
-  }
-  return fallback;
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  int parsed = 0;
+  const char* end = v + std::strlen(v);
+  const auto [ptr, ec] = std::from_chars(v, end, parsed);
+  SSAM_REQUIRE(ec == std::errc() && ptr == end,
+               std::string(name) + "=\"" + v +
+                   "\" is not an integer (expected a positive decimal count)");
+  SSAM_REQUIRE(parsed > 0, std::string(name) + "=\"" + v +
+                               "\" must be a positive integer");
+  return parsed;
 }
 
 bool env_flag(const char* name) {
@@ -35,6 +47,8 @@ SimConfig config_from_env() {
   c.policy = IterationPolicy::kAuto;
   c.simd_backend = sim::simd::kBackendName;
   if (const char* v = std::getenv("SSAM_FAULT_SPEC")) c.fault_spec = v;
+  if (const char* v = std::getenv("SSAM_TUNE_CACHE")) c.tune_cache = v;
+  c.tune_topk = env_positive_int("SSAM_TUNE_TOPK", 0);
   return c;
 }
 
@@ -56,6 +70,9 @@ std::string SimConfig::describe() const {
   s += simd_backend;
   s += " faults=";
   s += fault_spec.empty() ? "off" : fault_spec;
+  s += " tune_cache=";
+  s += tune_cache.empty() ? "default" : tune_cache;
+  if (tune_topk > 0) s += " tune_topk=" + std::to_string(tune_topk);
   return s;
 }
 

@@ -49,6 +49,13 @@ struct JobHints {
   int p = 4;
   int block_threads = 128;
   int warps3d = 8;
+  /// Resolve policy/tiles/sharding through the autotuner (core/autotune.hpp)
+  /// instead of taking the fields above literally. A per-host cache hit
+  /// costs zero measurements on the serving path; a miss runs the guided
+  /// search once per (kernel, shape, host) and persists the winner. Only the
+  /// bit-safe knobs are tuned — `t`, `p`, `block_threads` stay as hinted, so
+  /// a tuned run is bit-identical to the default run of the same job.
+  bool auto_tune = false;
 };
 
 /// One simulation request. Build with the factories; the service API is
@@ -270,6 +277,13 @@ class JobFuture {
   std::shared_ptr<detail::JobState> state_;
 };
 
+/// Defined in core/autotune.cpp: resolves `job` through the global AutoTuner
+/// and applies the tuned schedule's bit-safe knobs (policy, tiles, sharding)
+/// to `popt`. Declared here so run_job stays header-only without a cyclic
+/// include (autotune.hpp includes this header for SimJob).
+void autotune_apply(const sim::ArchSpec& arch, const SimJob& job,
+                    sim::Device* device, PersistentOptions& popt);
+
 /// THE dispatch path: runs `job` synchronously on `device`'s pool slice
 /// (null: the global pool), using `ws` for tile residence (null: the
 /// calling thread's default workspace). The SimServer calls this from its
@@ -289,6 +303,10 @@ inline PersistentRunStats run_job(const sim::ArchSpec& arch, const SimJob& job,
   popt.warps3d = job.hints.warps3d;
   popt.device = device;
   popt.cancel = job.cancel;
+  // The SimServer reaches this line too (it dispatches every job through
+  // run_job), so auto_tune jobs resolve through the tuner on both doors —
+  // and a warm cache keeps the serving path measurement-free.
+  if (job.hints.auto_tune) autotune_apply(arch, job, device, popt);
   switch (job.kind) {
     case JobKind::kStencil2D: {
       SSAM_REQUIRE(job.a2 != nullptr && job.b2 != nullptr, "stencil2d job needs grids");

@@ -118,28 +118,27 @@ SimServer::~SimServer() {
 }
 
 double SimServer::model_units(const SimJob& job) const {
-  // The paper's per-element SSAM latency (Equation 4) needs an M x N
-  // filter footprint. Convolutions carry one; stencils get their taps'
-  // bounding box (y and z extents folded into M — the model is planar).
-  int m = 1;
-  int n = 1;
+  // Per-element SSAM latency (Equation 4, sparse-generalized): the kernels
+  // execute exactly the taps the shape names, so the model charges those
+  // taps — not the bounding-box product, which over-priced star stencils
+  // 2-3x against dense filters and skewed the shared shed EWMA. The shuffle
+  // term follows the HORIZONTAL extent (m in Eq. 4 / conv2d_setup terms):
+  // the register-cache walk moves along x.
+  int taps = 1;
+  int mx = 1;
   if (job.kind == JobKind::kConv2D) {
-    m = std::max(1, job.filter_m);
-    n = std::max(1, job.filter_n);
+    mx = std::max(1, job.filter_m);
+    taps = mx * std::max(1, job.filter_n);
   } else if (!job.shape.taps.empty()) {
-    int dx0 = 0, dx1 = 0, dy0 = 0, dy1 = 0, dz0 = 0, dz1 = 0;
+    int dx0 = 0, dx1 = 0;
     for (const auto& t : job.shape.taps) {
       dx0 = std::min(dx0, t.dx);
       dx1 = std::max(dx1, t.dx);
-      dy0 = std::min(dy0, t.dy);
-      dy1 = std::max(dy1, t.dy);
-      dz0 = std::min(dz0, t.dz);
-      dz1 = std::max(dz1, t.dz);
     }
-    n = dx1 - dx0 + 1;
-    m = (dy1 - dy0 + 1) * (dz1 - dz0 + 1);
+    mx = dx1 - dx0 + 1;
+    taps = static_cast<int>(job.shape.taps.size());
   }
-  const double per_elem = perf::latency_ssam_method(m, n, perf::from_arch(*arch_));
+  const double per_elem = perf::latency_ssam_taps(taps, mx, perf::from_arch(*arch_));
   return per_elem * static_cast<double>(job.cells()) *
          static_cast<double>(std::max(1, job.steps));
 }

@@ -48,6 +48,21 @@ struct MicroLatencies {
   return m * n * (lat.t_mad + lat.t_smem_read + 2 * lat.t_reg) + (m - 1) * lat.t_shfl;
 }
 
+/// Sparse-shape generalization of Equation 4. The paper's M x N footprint
+/// assumes a dense filter; the kernels, however, execute exactly the taps a
+/// `StencilShape` names, so charging the bounding-box product over-prices a
+/// star-R stencil by up to (2R+1)^2 / (4R+1) — a 2-3x unit drift the
+/// deadline-shedding EWMA cannot absorb when dense and sparse jobs share one
+/// learned ms-per-unit. `m` is the HORIZONTAL tap extent (the register-cache
+/// shuffle walk of Eq. 4 moves along x; `conv2d_setup` calls it filter_m),
+/// so the shuffle term follows the x axis, never the folded y*z extent.
+/// Dense degeneracy: latency_ssam_taps(m*n, m, lat) == latency_ssam_method.
+[[nodiscard]] inline double latency_ssam_taps(int active_taps, int m,
+                                              const MicroLatencies& lat) {
+  return active_taps * (lat.t_mad + lat.t_smem_read + 2 * lat.t_reg) +
+         (m - 1) * lat.t_shfl;
+}
+
 /// Equation 5: the per-element advantage of SSAM.
 [[nodiscard]] inline double dif_smem_reg(int m, int n, const MicroLatencies& lat) {
   return m * n * lat.t_smem_read - (m - 1) * lat.t_shfl;

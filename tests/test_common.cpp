@@ -2,7 +2,12 @@
 // tables, paper-data registry consistency.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+#include <string>
+
 #include "common/grid.hpp"
+#include "core/config.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -116,6 +121,73 @@ TEST(CeilDiv, Basics) {
   EXPECT_EQ(ceil_div(10, 3), 4);
   EXPECT_EQ(ceil_div(9, 3), 3);
   EXPECT_EQ(ceil_div(1, 100), 1);
+}
+
+/// RAII env mutation so a throwing expectation can't leak a malformed knob
+/// into later tests (config() caches at first use, but config_from_env()
+/// re-reads — and other suites in this binary call it).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) old_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (old_.has_value()) {
+      ::setenv(name_, old_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> old_;
+};
+
+TEST(Config, MalformedThreadsThrowsInsteadOfSilentFallback) {
+  // std::atoi would have turned "four" into 0 and silently used the
+  // hardware default; strict from_chars parsing must refuse it, naming the
+  // variable like the SSAM_FAULT_SPEC grammar does.
+  for (const char* bad : {"four", "2x", "0", "-3", " 4", "4 "}) {
+    ScopedEnv env("SSAM_THREADS", bad);
+    EXPECT_THROW((void)core::config_from_env(), PreconditionError) << bad;
+    try {
+      (void)core::config_from_env();
+    } catch (const PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find("SSAM_THREADS"), std::string::npos);
+    }
+  }
+}
+
+TEST(Config, MalformedDevicesThrows) {
+  for (const char* bad : {"2x", "two", "0", "-1", "1.5"}) {
+    ScopedEnv env("SSAM_DEVICES", bad);
+    EXPECT_THROW((void)core::config_from_env(), PreconditionError) << bad;
+  }
+}
+
+TEST(Config, WellFormedEnvValuesParse) {
+  ScopedEnv threads("SSAM_THREADS", "3");
+  ScopedEnv devices("SSAM_DEVICES", "5");
+  const core::SimConfig c = core::config_from_env();
+  EXPECT_EQ(c.threads, 3);
+  EXPECT_EQ(c.devices, 5);
+}
+
+TEST(Config, EmptyEnvValueFallsBackToDefault) {
+  // An empty assignment (SSAM_THREADS= ./run) means "unset" by shell
+  // convention, not "malformed".
+  ScopedEnv threads("SSAM_THREADS", "");
+  ScopedEnv devices("SSAM_DEVICES", "");
+  const core::SimConfig c = core::config_from_env();
+  EXPECT_GE(c.threads, 1);
+  EXPECT_EQ(c.devices, 2);
+}
+
+TEST(Config, DescribeNamesTuneKnobs) {
+  const core::SimConfig c = core::config_from_env();
+  EXPECT_NE(c.describe().find("tune_cache="), std::string::npos);
 }
 
 }  // namespace

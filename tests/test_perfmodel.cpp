@@ -149,4 +149,44 @@ TEST(RegistersPerThread, SsamConvEstimateTracksWindowAndFilter) {
   EXPECT_EQ(core::conv2d_ssam_regs(5, 4), (4 + 5 - 1) + 4 + 12);
 }
 
+TEST(SparseLatency, DenseDegeneratesToEquation4) {
+  // latency_ssam_taps with the full M*N tap count IS Equation 4 — the
+  // sparse entry point generalizes, never diverges.
+  const perf::MicroLatencies lat;
+  for (int m = 1; m <= 9; m += 2) {
+    for (int n = 1; n <= 9; n += 2) {
+      EXPECT_DOUBLE_EQ(perf::latency_ssam_taps(m * n, m, lat),
+                       perf::latency_ssam_method(m, n, lat));
+    }
+  }
+}
+
+TEST(SparseLatency, StarChargesTapsNotBoundingBox) {
+  // A star-R 2D stencil executes 4R+1 taps inside a (2R+1)^2 bounding box.
+  // The old bbox charge over-priced it ~2.9x at R=4 — exactly the unit
+  // drift that skewed the server's shared shed EWMA across shape classes.
+  const perf::MicroLatencies lat;
+  for (int r = 1; r <= 4; ++r) {
+    const int box = 2 * r + 1;
+    const int taps = 4 * r + 1;
+    const double sparse = perf::latency_ssam_taps(taps, box, lat);
+    const double bbox = perf::latency_ssam_method(box, box, lat);
+    EXPECT_LT(sparse, bbox);
+    // Both charge the same shuffle walk; the MAC/read stream scales with
+    // the actual tap count.
+    EXPECT_DOUBLE_EQ(bbox - sparse,
+                     (box * box - taps) * (lat.t_mad + lat.t_smem_read + 2 * lat.t_reg));
+  }
+}
+
+TEST(SparseLatency, ShuffleTermFollowsHorizontalExtent) {
+  // The register-cache shuffle walk moves along x (Eq. 4's M). A horizontal
+  // 1x9 line pays 8 shuffles; a vertical 9x1 line pays none — with equal
+  // tap counts the horizontal shape must cost exactly 8*Tshfl more.
+  const perf::MicroLatencies lat;
+  const double horizontal = perf::latency_ssam_taps(9, 9, lat);
+  const double vertical = perf::latency_ssam_taps(9, 1, lat);
+  EXPECT_DOUBLE_EQ(horizontal - vertical, 8 * lat.t_shfl);
+}
+
 }  // namespace

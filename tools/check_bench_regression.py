@@ -7,7 +7,10 @@ baseline (BENCH_sim_throughput.json) and fails when
   * any kernel's blocks_per_sec regressed by more than the allowed fraction
     (the global --max-regression, or a per-kernel --threshold override), or
   * a kernel present in the committed baseline is missing from the fresh run
-    (a silently dropped scenario must not pass the gate).
+    (a silently dropped scenario must not pass the gate), or
+  * a kernel named with --require is absent from either file — rows the CI
+    gate depends on (autotuned_vs_default) must exist before they can be
+    compared; without this, a never-added row reads as "NEW — skipped".
 
 Kernels only present in the fresh run (new scenarios) are reported but never
 fail; neither do improvements. Retiring a kernel intentionally requires
@@ -15,7 +18,8 @@ fail; neither do improvements. Retiring a kernel intentionally requires
 
 Usage:
   check_bench_regression.py BASELINE.json FRESH.json \
-      [--max-regression 0.30] [--threshold NAME=FRAC]... [--allow-missing NAME]...
+      [--max-regression 0.30] [--threshold NAME=FRAC]... \
+      [--allow-missing NAME]... [--require NAME]...
 """
 
 import argparse
@@ -66,6 +70,16 @@ def main():
         metavar="NAME",
         help="baseline kernel allowed to be absent from the fresh run "
         "(repeatable; for intentionally retired scenarios)",
+    )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="kernel that MUST be present in both the baseline and the fresh "
+        "run (repeatable). Closes the 'NEW — skipped' gap: a scenario the "
+        "gate is supposed to watch (e.g. autotuned_vs_default) cannot "
+        "silently drop out of either file.",
     )
     parser.add_argument(
         "--metric", default="blocks_per_sec", help="kernel field to compare"
@@ -147,7 +161,22 @@ def main():
             f"({change:+7.1%}, limit {limit_sign}{limit:.0%})  {verdict}"
         )
 
+    required_absent = []
+    for name in args.require:
+        where = []
+        if name not in base:
+            where.append("baseline")
+        if name not in fresh:
+            where.append("fresh run")
+        if where:
+            required_absent.append((name, " and ".join(where)))
+
     ok = True
+    if required_absent:
+        ok = False
+        print(f"\nFAIL: {len(required_absent)} required kernel(s) absent:")
+        for name, where in required_absent:
+            print(f"  {name}: missing from the {where}")
     if missing:
         ok = False
         print(

@@ -40,6 +40,7 @@ LAYER_HEADERS = [
     "src/core/config.hpp",
     "src/core/faultinject.hpp",
     "src/core/job.hpp",
+    "src/core/autotune.hpp",
     "src/core/server.hpp",
     "src/perfmodel/latency_model.hpp",
 ]
